@@ -1,0 +1,168 @@
+package adios
+
+import (
+	"math"
+	"testing"
+
+	"repro/cluster"
+)
+
+// runStep executes one collective output step on a small Jaguar-calibrated
+// cluster with the given method and returns the result.
+func runStep(t *testing.T, method Method, ranks int, bytesPerVar int64) *StepResult {
+	t.Helper()
+	c := cluster.Jaguar(cluster.Config{Seed: 11, NumOSTs: 8})
+	defer c.Shutdown()
+	w := c.NewWorld(ranks)
+	io, err := NewIO(c, w, Options{Method: method, OSTs: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *StepResult
+	j := w.Launch(func(r *cluster.Rank) {
+		f := io.Open(r, "step")
+		f.Write("rho", bytesPerVar, []uint64{64, 64, 64}, -1, 1)
+		f.Write("phi", bytesPerVar, []uint64{64, 64, 64}, float64(r.Rank()), float64(r.Rank())+1)
+		rr, err := f.Close()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = rr
+	})
+	c.RunUntilDone(j)
+	if !j.Done() {
+		t.Fatal("ranks did not finish")
+	}
+	return res
+}
+
+func TestAllMethodsWriteAllBytes(t *testing.T) {
+	const ranks = 8
+	const perVar = 1 << 20
+	for _, m := range []Method{MethodMPI, MethodPOSIX, MethodAdaptive} {
+		res := runStep(t, m, ranks, perVar)
+		want := float64(ranks * 2 * perVar)
+		if math.Abs(res.TotalBytes-want) > 1 {
+			t.Errorf("%s: total bytes %v, want %v", m, res.TotalBytes, want)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed %v", m, res.Elapsed)
+		}
+		if res.AggregateBW() <= 0 {
+			t.Errorf("%s: bandwidth %v", m, res.AggregateBW())
+		}
+	}
+}
+
+func TestIndexLookupThroughFacade(t *testing.T) {
+	res := runStep(t, MethodAdaptive, 8, 1<<20)
+	if res.Index() == nil {
+		t.Fatal("no index")
+	}
+	loc, ok := res.Lookup("rho", 3)
+	if !ok || loc.Entry.Length != 1<<20 {
+		t.Fatalf("lookup = %+v, %v", loc, ok)
+	}
+	// phi for rank r has range [r, r+1]: value search for [2.5, 2.6] must
+	// hit rank 2's block only.
+	hits := res.FindByValue("phi", 2.5, 2.6)
+	if len(hits) != 1 || hits[0].Entry.WriterRank != 2 {
+		t.Fatalf("value search = %+v", hits)
+	}
+}
+
+func TestDefaultMethodIsAdaptive(t *testing.T) {
+	c := cluster.Jaguar(cluster.Config{Seed: 1, NumOSTs: 4})
+	defer c.Shutdown()
+	w := c.NewWorld(2)
+	io, err := NewIO(c, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.MethodName() != "ADAPTIVE" {
+		t.Fatalf("default method = %s", io.MethodName())
+	}
+}
+
+func TestUnknownMethodErrors(t *testing.T) {
+	c := cluster.Jaguar(cluster.Config{Seed: 1, NumOSTs: 4})
+	defer c.Shutdown()
+	w := c.NewWorld(2)
+	if _, err := NewIO(c, w, Options{Method: "HDF5"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestWriteAfterClosePanics(t *testing.T) {
+	c := cluster.Jaguar(cluster.Config{Seed: 1, NumOSTs: 4})
+	defer c.Shutdown()
+	w := c.NewWorld(1)
+	io, err := NewIO(c, w, Options{Method: MethodPOSIX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicked := false
+	w.Launch(func(r *cluster.Rank) {
+		f := io.Open(r, "s")
+		f.Write("v", 100, nil, 0, 1)
+		if _, err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			f.Write("w", 100, nil, 0, 1)
+		}()
+		if _, err := f.Close(); err == nil {
+			t.Error("double close accepted")
+		}
+	})
+	c.Run()
+	if !panicked {
+		t.Fatal("write-after-close did not panic")
+	}
+}
+
+func TestAdaptiveBeatsMPIUnderArtificialInterference(t *testing.T) {
+	// The paper's central evaluation shape (Figures 5–6): with writers
+	// outnumbering targets and interference loading part of the file
+	// system, adaptive IO outperforms the MPI-IO baseline.
+	run := func(method Method) float64 {
+		c := cluster.Jaguar(cluster.Config{Seed: 21, NumOSTs: 16})
+		defer c.Shutdown()
+		// MPI limited to 4 targets (stands in for the 160-OST limit at
+		// scale); adaptive free to use 12.
+		osts := []int{0, 1, 2, 3}
+		if method == MethodAdaptive {
+			osts = nil
+		}
+		c.StartArtificialInterference([]int{0, 1}, 3, 1<<28)
+		w := c.NewWorld(32)
+		io, err := NewIO(c, w, Options{Method: method, OSTs: osts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *StepResult
+		j := w.Launch(func(r *cluster.Rank) {
+			f := io.Open(r, "restart")
+			f.Write("u", 32<<20, nil, 0, 1)
+			rr, err := f.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res = rr
+		})
+		c.RunUntilDone(j)
+		return res.Elapsed
+	}
+	mpi := run(MethodMPI)
+	adaptive := run(MethodAdaptive)
+	if adaptive >= mpi {
+		t.Fatalf("adaptive (%.2fs) should beat MPI-IO (%.2fs) under interference", adaptive, mpi)
+	}
+}

@@ -1,0 +1,132 @@
+package adios
+
+import (
+	"testing"
+
+	"repro/cluster"
+)
+
+// writeThenIndex runs a step through the given method and returns the
+// cluster (still alive), a fresh world for readers, and the step result.
+func writeThenIndex(t *testing.T, method Method) (*cluster.Cluster, *StepResult) {
+	t.Helper()
+	c := cluster.Jaguar(cluster.Config{Seed: 17, NumOSTs: 8})
+	w := c.NewWorld(8)
+	io, err := NewIO(c, w, Options{Method: method, OSTs: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *StepResult
+	j := w.Launch(func(r *cluster.Rank) {
+		f := io.Open(r, "rst")
+		f.Write("rho", 1<<20, []uint64{64, 64, 32}, float64(r.Rank()), float64(r.Rank())+1)
+		f.Write("phi", 2<<20, nil, 0, 1)
+		rr, err := f.Close()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = rr
+	})
+	c.RunUntilDone(j)
+	return c, res
+}
+
+func TestRestartReadAllMethods(t *testing.T) {
+	for _, method := range []Method{MethodAdaptive, MethodMPI, MethodPOSIX} {
+		c, res := writeThenIndex(t, method)
+		rd, err := NewReader(c, res.Index())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := c.NewWorld(8)
+		var bytesRead int64
+		var dur float64
+		j := w2.Launch(func(r *cluster.Rank) {
+			start := r.Proc().Now().Seconds()
+			n, err := rd.RestartRead(r)
+			if err != nil {
+				t.Error(method, err)
+				return
+			}
+			if r.Rank() == 0 {
+				bytesRead = n
+				dur = r.Proc().Now().Seconds() - start
+			}
+			rd.Close(r)
+		})
+		c.RunUntilDone(j)
+		c.Shutdown()
+		if bytesRead != 3<<20 {
+			t.Errorf("%s: rank 0 restart read %d bytes, want %d", method, bytesRead, 3<<20)
+		}
+		if dur <= 0 {
+			t.Errorf("%s: restart read took no simulated time", method)
+		}
+	}
+}
+
+func TestReadVarAndByValue(t *testing.T) {
+	c, res := writeThenIndex(t, MethodAdaptive)
+	defer c.Shutdown()
+	rd, err := NewReader(c, res.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := c.NewWorld(1)
+	j := w2.Launch(func(r *cluster.Rank) {
+		loc, err := rd.ReadVar(r, "rho", 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if loc.Entry.WriterRank != 5 || loc.Entry.Length != 1<<20 {
+			t.Errorf("wrong block: %+v", loc.Entry)
+		}
+		if _, err := rd.ReadVar(r, "ghost", -1); err == nil {
+			t.Error("missing variable read succeeded")
+		}
+		// rho for rank k spans [k, k+1]: [2.2, 3.8] intersects ranks 2 and 3.
+		locs, total, err := rd.ReadByValue(r, "rho", 2.2, 3.8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(locs) != 2 || total != 2<<20 {
+			t.Errorf("value read: %d blocks, %d bytes", len(locs), total)
+		}
+	})
+	c.RunUntilDone(j)
+}
+
+func TestNewReaderNilIndex(t *testing.T) {
+	c := cluster.Jaguar(cluster.Config{Seed: 1, NumOSTs: 4})
+	defer c.Shutdown()
+	if _, err := NewReader(c, nil); err == nil {
+		t.Fatal("nil index accepted")
+	}
+}
+
+func TestReaderReusesHandles(t *testing.T) {
+	c, res := writeThenIndex(t, MethodAdaptive)
+	defer c.Shutdown()
+	rd, _ := NewReader(c, res.Index())
+	opsBefore := -1
+	w2 := c.NewWorld(1)
+	j := w2.Launch(func(r *cluster.Rank) {
+		// Two reads of blocks in the same file must open it once.
+		loc, err := rd.ReadVar(r, "rho", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		opsBefore = c.FileSystem().MDS.Stats.OpsServed
+		if err := rd.ReadBlock(r, loc); err != nil {
+			t.Error(err)
+		}
+		if got := c.FileSystem().MDS.Stats.OpsServed; got != opsBefore {
+			t.Errorf("re-read reopened the file: MDS ops %d -> %d", opsBefore, got)
+		}
+	})
+	c.RunUntilDone(j)
+}

@@ -1,0 +1,256 @@
+// Package cluster is the public entry point for constructing a simulated
+// petascale system: a machine preset (Jaguar, Franklin, XTP — the three
+// systems measured in the paper) or a custom configuration, with optional
+// production background noise and artificial interference workloads.
+//
+// A Cluster owns the deterministic simulation kernel, the parallel file
+// system model, and any interference processes. Applications are sets of
+// ranks launched through NewWorld/Launch; drive everything with Run.
+//
+//	c, _ := cluster.Preset("jaguar", cluster.Config{Seed: 1})
+//	w := c.NewWorld(4096)
+//	io, _ := adios.NewIO(c, w, adios.Options{Method: adios.MethodAdaptive})
+//	w.Launch(func(r *cluster.Rank) { ... })
+//	c.Run()
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/interference"
+	"repro/internal/machines"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+	"repro/internal/trace"
+)
+
+// Config adjusts a cluster on top of a machine preset (zero values keep the
+// preset's calibration).
+type Config struct {
+	// Seed drives every stochastic component; the same seed reproduces the
+	// same simulation exactly.
+	Seed int64
+
+	// NumOSTs overrides the storage-target count (useful for scaled-down
+	// experiments that preserve per-target ratios).
+	NumOSTs int
+
+	// ProductionNoise enables the machine's background-load profile (other
+	// jobs, analysis clusters). Presets for production machines (Jaguar,
+	// Franklin) define a calibrated profile; it still must be switched on
+	// explicitly so that clean measurements are the default.
+	ProductionNoise bool
+
+	// MessageLatency is the rank-to-rank control-message latency
+	// (default 5µs).
+	MessageLatency time.Duration
+}
+
+// Cluster is a simulated machine instance.
+type Cluster struct {
+	name    string
+	kernel  *simkernel.Kernel
+	fs      *pfs.FileSystem
+	machine machines.Machine
+	noise   *interference.Noise
+	msgLat  time.Duration
+
+	artificial []*interference.Artificial
+}
+
+// Preset builds a cluster from a machine preset name: "jaguar", "franklin",
+// or "xtp" (case-insensitive on the first letter as a convenience).
+func Preset(name string, cfg Config) (*Cluster, error) {
+	m, ok := machines.ByName(name, cfg.Seed)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown machine %q (have %v)", name, machines.Names())
+	}
+	return fromMachine(m, cfg)
+}
+
+// Jaguar builds the ORNL Jaguar preset (672-OST Lustre scratch).
+func Jaguar(cfg Config) *Cluster {
+	c, err := fromMachine(machines.Jaguar(cfg.Seed), cfg)
+	if err != nil {
+		panic(err) // presets cannot fail validation
+	}
+	return c
+}
+
+// Franklin builds the NERSC Franklin preset (96-OST Lustre).
+func Franklin(cfg Config) *Cluster {
+	c, err := fromMachine(machines.Franklin(cfg.Seed), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// XTP builds the Sandia XTP preset (40-blade PanFS).
+func XTP(cfg Config) *Cluster {
+	c, err := fromMachine(machines.XTP(cfg.Seed), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
+	k := simkernel.New()
+	fsCfg := m.FS
+	fsCfg.Seed = cfg.Seed
+	if cfg.NumOSTs > 0 {
+		fsCfg.NumOSTs = cfg.NumOSTs
+	}
+	fs, err := pfs.New(k, fsCfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		name:    m.Name,
+		kernel:  k,
+		fs:      fs,
+		machine: m,
+		msgLat:  cfg.MessageLatency,
+	}
+	if cfg.ProductionNoise {
+		noiseCfg := m.Noise
+		noiseCfg.Seed = cfg.Seed + 1
+		if !noiseCfg.Enabled {
+			noiseCfg = interference.DefaultProduction(cfg.Seed + 1)
+		}
+		c.noise = interference.Start(fs, noiseCfg)
+	}
+	return c, nil
+}
+
+// Name returns the machine preset's name.
+func (c *Cluster) Name() string { return c.name }
+
+// NumOSTs returns the number of storage targets.
+func (c *Cluster) NumOSTs() int { return len(c.fs.OSTs) }
+
+// ExperimentOSTs returns the target count the paper's experiments use on
+// this machine (512 of Jaguar's 672, all of Franklin's 96-OST testbed's 80
+// writer slots, all 40 XTP blades).
+func (c *Cluster) ExperimentOSTs() int {
+	n := c.machine.ExperimentOSTs
+	if n > len(c.fs.OSTs) {
+		n = len(c.fs.OSTs)
+	}
+	return n
+}
+
+// FileSystem exposes the underlying parallel file system model (an internal
+// type; callers hold it opaquely or pass it back into this module's APIs).
+func (c *Cluster) FileSystem() *pfs.FileSystem { return c.fs }
+
+// Kernel exposes the simulation kernel (internal type, same caveat).
+func (c *Cluster) Kernel() *simkernel.Kernel { return c.kernel }
+
+// StartArtificialInterference launches the paper's Section IV interference
+// program: procsPerOST continuous writers of chunkBytes each on the given
+// targets (defaults: the paper's 8 targets × 3 procs × 1 GB when osts is
+// nil and the other arguments are zero). Returns a handle to stop it.
+func (c *Cluster) StartArtificialInterference(osts []int, procsPerOST int, chunkBytes float64) *interference.Artificial {
+	cfg := interference.ArtificialConfig{OSTs: osts, ProcsPerOST: procsPerOST, ChunkBytes: chunkBytes}
+	a := interference.StartArtificial(c.fs, cfg)
+	c.artificial = append(c.artificial, a)
+	return a
+}
+
+// StopInterference stops all artificial interference workloads.
+func (c *Cluster) StopInterference() {
+	for _, a := range c.artificial {
+		a.Stop()
+	}
+	if c.noise != nil {
+		c.noise.Stop()
+	}
+}
+
+// SlowOST degrades one storage target to the given service fraction —
+// a deterministic way to stage the imbalance the paper measures.
+func (c *Cluster) SlowOST(idx int, factor float64) {
+	c.fs.OST(idx).SetSlowFactor(factor)
+}
+
+// Trace starts sampling the storage system every interval virtual seconds,
+// returning a tracer whose renderers draw activity/slowness heatmaps and
+// throughput timelines (see internal/trace).
+func (c *Cluster) Trace(intervalSeconds float64) *trace.Tracer {
+	return trace.Start(c.fs, intervalSeconds)
+}
+
+// NewWorld creates a set of ranks on this cluster.
+func (c *Cluster) NewWorld(ranks int) *World {
+	return &World{
+		c: c,
+		w: mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat}),
+	}
+}
+
+// Run drives the simulation until no work remains (or Stop is called) and
+// returns the final virtual time in seconds. Interference processes run
+// forever; use RunUntilIdleOf for workloads sharing a kernel with them.
+func (c *Cluster) Run() float64 {
+	return c.kernel.Run().Seconds()
+}
+
+// RunFor drives the simulation for d of virtual time.
+func (c *Cluster) RunFor(d time.Duration) float64 {
+	return c.kernel.RunUntil(c.kernel.Now() + simkernel.Time(d)).Seconds()
+}
+
+// RunUntilDone drives the simulation until the given world's launched ranks
+// have all returned, then stops (leaving noise/interference processes
+// suspended). It returns the final virtual time in seconds.
+func (c *Cluster) RunUntilDone(wg *Join) float64 {
+	c.kernel.Spawn("cluster-joiner", func(p *simkernel.Proc) {
+		wg.wg.Wait(p)
+		c.kernel.Stop()
+	})
+	c.kernel.Run()
+	return c.kernel.Now().Seconds()
+}
+
+// Shutdown unwinds all simulation processes; call when done with the
+// cluster to release goroutines.
+func (c *Cluster) Shutdown() { c.kernel.Shutdown() }
+
+// Now returns the current virtual time in seconds.
+func (c *Cluster) Now() float64 { return c.kernel.Now().Seconds() }
+
+// World is a communicator of ranks on a cluster.
+type World struct {
+	c *Cluster
+	w *mpisim.World
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.w.Size() }
+
+// Cluster returns the owning cluster.
+func (w *World) Cluster() *Cluster { return w.c }
+
+// MPI exposes the underlying message-passing world (internal type).
+func (w *World) MPI() *mpisim.World { return w.w }
+
+// Join tracks a launched application's completion.
+type Join struct {
+	wg *simkernel.WaitGroup
+}
+
+// Done reports whether all launched ranks have returned.
+func (j *Join) Done() bool { return j.wg.Count() == 0 }
+
+// Rank is one application process.
+type Rank = mpisim.Rank
+
+// Launch starts fn on every rank. Drive the cluster with Run (or
+// RunUntilDone with the returned Join).
+func (w *World) Launch(fn func(r *Rank)) *Join {
+	return &Join{wg: w.w.Launch("app", fn)}
+}

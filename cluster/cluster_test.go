@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPresets(t *testing.T) {
+	cases := map[string]int{"jaguar": 672, "franklin": 96, "xtp": 40}
+	for name, osts := range cases {
+		c, err := Preset(name, Config{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumOSTs() != osts {
+			t.Errorf("%s OSTs = %d, want %d", name, c.NumOSTs(), osts)
+		}
+		c.Shutdown()
+	}
+	if _, err := Preset("bluegene", Config{}); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+		t.Fatalf("unknown preset error = %v", err)
+	}
+}
+
+func TestNamedConstructors(t *testing.T) {
+	for _, c := range []*Cluster{
+		Jaguar(Config{Seed: 2}),
+		Franklin(Config{Seed: 2}),
+		XTP(Config{Seed: 2}),
+	} {
+		if c.Name() == "" || c.NumOSTs() == 0 {
+			t.Errorf("preset %q malformed", c.Name())
+		}
+		c.Shutdown()
+	}
+}
+
+func TestExperimentOSTs(t *testing.T) {
+	c := Jaguar(Config{Seed: 1})
+	defer c.Shutdown()
+	if got := c.ExperimentOSTs(); got != 512 {
+		t.Fatalf("Jaguar experiment OSTs = %d, want the paper's 512", got)
+	}
+	small := Jaguar(Config{Seed: 1, NumOSTs: 16})
+	defer small.Shutdown()
+	if got := small.ExperimentOSTs(); got != 16 {
+		t.Fatalf("scaled-down experiment OSTs = %d, want clamped 16", got)
+	}
+}
+
+func TestNumOSTsOverride(t *testing.T) {
+	c := Jaguar(Config{Seed: 1, NumOSTs: 24})
+	defer c.Shutdown()
+	if c.NumOSTs() != 24 {
+		t.Fatalf("override failed: %d", c.NumOSTs())
+	}
+}
+
+func TestWorldLaunchAndJoin(t *testing.T) {
+	c := XTP(Config{Seed: 3})
+	defer c.Shutdown()
+	w := c.NewWorld(5)
+	if w.Size() != 5 || w.Cluster() != c {
+		t.Fatal("world wiring wrong")
+	}
+	ran := 0
+	j := w.Launch(func(r *Rank) {
+		r.Proc().Sleep(time.Duration(r.Rank()) * time.Millisecond)
+		ran++
+	})
+	end := c.RunUntilDone(j)
+	if !j.Done() || ran != 5 {
+		t.Fatalf("join: done=%v ran=%d", j.Done(), ran)
+	}
+	if end < 0.004 {
+		t.Fatalf("virtual end time %v too small", end)
+	}
+}
+
+func TestProductionNoisePerturbsAndStops(t *testing.T) {
+	c := Jaguar(Config{Seed: 4, NumOSTs: 32, ProductionNoise: true})
+	defer c.Shutdown()
+	c.RunFor(10 * time.Minute)
+	perturbed := 0
+	fs := c.FileSystem()
+	for i := 0; i < c.NumOSTs(); i++ {
+		if fs.OST(i).SlowFactor() < 1 || fs.OST(i).ExternalStreams() > 0 {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("production noise inert")
+	}
+	c.StopInterference()
+	for i := 0; i < c.NumOSTs(); i++ {
+		if fs.OST(i).SlowFactor() != 1 {
+			t.Fatal("noise not cleared")
+		}
+	}
+}
+
+func TestXTPNoiseDisabledFallsBackWhenRequested(t *testing.T) {
+	// XTP is not a production machine; its preset has noise disabled, but
+	// explicitly requesting ProductionNoise still yields a working profile.
+	c := XTP(Config{Seed: 5, ProductionNoise: true})
+	defer c.Shutdown()
+	c.RunFor(10 * time.Minute)
+	perturbed := 0
+	for i := 0; i < c.NumOSTs(); i++ {
+		if c.FileSystem().OST(i).SlowFactor() < 1 || c.FileSystem().OST(i).ExternalStreams() > 0 {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("requested noise missing on XTP")
+	}
+}
+
+func TestSlowOSTAndArtificialInterference(t *testing.T) {
+	c := XTP(Config{Seed: 6})
+	defer c.Shutdown()
+	c.SlowOST(3, 0.25)
+	if got := c.FileSystem().OST(3).SlowFactor(); got != 0.25 {
+		t.Fatalf("slow factor = %v", got)
+	}
+	a := c.StartArtificialInterference(nil, 0, 0) // paper defaults
+	c.RunFor(time.Second)
+	if c.FileSystem().OST(0).ActiveFlows() != 3 {
+		t.Fatalf("interference flows = %d, want 3/OST", c.FileSystem().OST(0).ActiveFlows())
+	}
+	a.Stop()
+}
+
+func TestRunForAdvancesVirtualTime(t *testing.T) {
+	c := XTP(Config{Seed: 7})
+	defer c.Shutdown()
+	c.Kernel().After(time.Hour, func() {}) // something beyond the horizon
+	got := c.RunFor(2 * time.Second)
+	if got > 2.1 {
+		t.Fatalf("RunFor overshot: %v", got)
+	}
+	if c.Now() > 2.1 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	c, err := Custom(MachineSpec{
+		Name:          "minifs",
+		NumOSTs:       6,
+		DiskMBps:      100,
+		CacheMB:       64,
+		IngestMBps:    300,
+		ClientCapMBps: 40,
+	}, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.Name() != "minifs" || c.NumOSTs() != 6 {
+		t.Fatalf("custom cluster wrong: %s/%d", c.Name(), c.NumOSTs())
+	}
+	if c.ExperimentOSTs() != 6 {
+		t.Fatalf("experiment OSTs = %d", c.ExperimentOSTs())
+	}
+	// It must actually run IO.
+	w := c.NewWorld(3)
+	done := 0
+	j := w.Launch(func(r *Rank) {
+		fs := c.FileSystem()
+		f, err := fs.Create(r.Proc(), "t", pfsLayoutSingle(r.Rank()))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteAt(r.Proc(), 0, 1<<20)
+		f.Close(r.Proc())
+		done++
+	})
+	c.RunUntilDone(j)
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestCustomMachineDefaultsFill(t *testing.T) {
+	c, err := Custom(MachineSpec{}, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.NumOSTs() != 512 { // pfs default
+		t.Fatalf("default OSTs = %d", c.NumOSTs())
+	}
+}
+
+func TestCustomMachineRejectsNegative(t *testing.T) {
+	if _, err := Custom(MachineSpec{DiskMBps: -5}, Config{}); err == nil {
+		t.Fatal("negative disk accepted")
+	}
+}
+
+func TestTraceIntegration(t *testing.T) {
+	c := XTP(Config{Seed: 8})
+	defer c.Shutdown()
+	tr := c.Trace(0.5)
+	w := c.NewWorld(4)
+	j := w.Launch(func(r *Rank) {
+		fs := c.FileSystem()
+		f, _ := fs.Create(r.Proc(), "tr", pfsLayoutSingle(r.Rank()))
+		f.WriteAt(r.Proc(), 0, 64<<20)
+		f.Close(r.Proc())
+	})
+	c.RunUntilDone(j)
+	tr.Stop()
+	if len(tr.Samples()) == 0 {
+		t.Fatal("trace collected no samples")
+	}
+}

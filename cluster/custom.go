@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/interference"
+	"repro/internal/machines"
+	"repro/internal/pfs"
+)
+
+// MachineSpec describes a custom simulated machine in public terms, for
+// users modelling systems beyond the paper's three presets. Zero fields
+// take the validated defaults of the storage model (which resemble the
+// paper's Jaguar calibration).
+type MachineSpec struct {
+	// Name labels the machine in diagnostics.
+	Name string
+
+	// NumOSTs is the storage-target count.
+	NumOSTs int
+
+	// DiskMBps is the per-target disk write bandwidth in MB/s.
+	DiskMBps float64
+
+	// CacheMB is the effective per-target write-back budget in MB.
+	CacheMB float64
+
+	// IngestMBps is the per-target network acceptance rate in MB/s.
+	IngestMBps float64
+
+	// ClientCapMBps caps a single client stream in MB/s.
+	ClientCapMBps float64
+
+	// ContentionAlpha/Beta parameterise the disk-efficiency decay
+	// eff(n) = 1/(1+alpha*(n-1)^beta) under n interleaved streams.
+	ContentionAlpha float64
+	ContentionBeta  float64
+
+	// MaxStripeCount limits targets per file (the Lustre 1.6 value is
+	// 160).
+	MaxStripeCount int
+
+	// StripeSizeMB is the default stripe width in MB.
+	StripeSizeMB int
+
+	// WriteLatency is the fixed per-write-op overhead.
+	WriteLatency time.Duration
+
+	// MDSCapacity and MDSServiceMs describe the metadata server.
+	MDSCapacity  int
+	MDSServiceMs float64
+
+	// Noise optionally carries a production background-load profile; nil
+	// means no noise process is available (Config.ProductionNoise then
+	// falls back to the default profile).
+	Noise *interference.NoiseConfig
+}
+
+// Custom builds a cluster from a user-defined machine specification.
+func Custom(spec MachineSpec, cfg Config) (*Cluster, error) {
+	if spec.Name == "" {
+		spec.Name = "custom"
+	}
+	fsCfg := pfs.Config{
+		NumOSTs:        spec.NumOSTs,
+		DiskBW:         spec.DiskMBps * pfs.MB,
+		CacheBytes:     spec.CacheMB * pfs.MB,
+		IngestBW:       spec.IngestMBps * pfs.MB,
+		ClientCap:      spec.ClientCapMBps * pfs.MB,
+		MaxStripeCount: spec.MaxStripeCount,
+		StripeSize:     int64(spec.StripeSizeMB) * 1024 * 1024,
+		WriteLatency:   spec.WriteLatency,
+		MDSCapacity:    spec.MDSCapacity,
+		MDSServiceMean: spec.MDSServiceMs / 1000,
+	}
+	if spec.ContentionAlpha > 0 {
+		beta := spec.ContentionBeta
+		if beta <= 0 {
+			beta = 1
+		}
+		fsCfg.DiskEff = pfs.EffCurve{Alpha: spec.ContentionAlpha, Beta: beta}
+	}
+	if fsCfg.NumOSTs < 0 || spec.DiskMBps < 0 || spec.CacheMB < 0 {
+		return nil, fmt.Errorf("cluster: negative machine parameters")
+	}
+	m := machines.Machine{
+		Name:           spec.Name,
+		FS:             fsCfg,
+		ExperimentOSTs: spec.NumOSTs,
+	}
+	if spec.Noise != nil {
+		m.Noise = *spec.Noise
+	}
+	c, err := fromMachine(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.ExperimentOSTs == 0 {
+		c.machine.ExperimentOSTs = c.NumOSTs()
+	}
+	return c, nil
+}

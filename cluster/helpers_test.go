@@ -1,0 +1,8 @@
+package cluster
+
+import "repro/internal/pfs"
+
+// pfsLayoutSingle pins a test file to one storage target.
+func pfsLayoutSingle(i int) pfs.Layout {
+	return pfs.Layout{OSTs: []int{i % 4}}
+}

@@ -1,0 +1,144 @@
+// Command adaptbench reproduces the paper's Section IV evaluation: Pixie3D
+// (Figure 5 a/b/c) and XGC1 (Figure 6) under the MPI-IO baseline vs the
+// adaptive method, with and without artificial interference, plus the
+// write-time standard deviations (Figure 7) and the speedup summaries the
+// paper quotes in prose.
+//
+// Usage:
+//
+//	adaptbench -experiment fig5 [-size small|large|xl|all] [-procs 512,...,16384] [-samples 5]
+//	adaptbench -experiment fig6 [-procs ...] [-samples 5]
+//	adaptbench -experiment fig7 [-size ...]   (runs fig5+fig6 then reduces)
+//
+// Scale knobs: -num-osts shrinks the simulated machine; -mpi-osts and
+// -adaptive-osts set the per-method target counts (paper: 160 and 512).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig5", "fig5 | fig6 | fig7")
+		size       = flag.String("size", "all", "pixie3d size: small | large | xl | all")
+		procsStr   = flag.String("procs", "", "process counts (default paper grid 512..16384)")
+		samples    = flag.Int("samples", 5, "samples per point (paper: at least 5)")
+		mpiOSTs    = flag.Int("mpi-osts", 160, "MPI-IO storage targets (single-file limit)")
+		adOSTs     = flag.Int("adaptive-osts", 512, "adaptive-method storage targets")
+		numOSTs    = flag.Int("num-osts", 0, "simulated machine targets (0 = full Jaguar)")
+		seed       = flag.Int64("seed", 42, "master seed")
+		baseOnly   = flag.Bool("base-only", false, "skip the artificial-interference condition")
+		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
+		chart      = flag.Bool("chart", false, "also draw ASCII bar charts")
+	)
+	flag.Parse()
+
+	eval := experiments.EvalOptions{
+		ProcCounts:   parseInts(*procsStr),
+		Samples:      *samples,
+		MPIOSTs:      *mpiOSTs,
+		AdaptiveOSTs: *adOSTs,
+		NumOSTs:      *numOSTs,
+		Seed:         *seed,
+	}
+	if *baseOnly {
+		eval.Conditions = []experiments.Condition{experiments.Base}
+	}
+
+	switch *experiment {
+	case "fig5":
+		panels, err := experiments.Fig5(experiments.Fig5Options{Eval: eval, Sizes: sizesOf(*size)})
+		if err != nil {
+			fatal(err)
+		}
+		for _, er := range panels.Panels {
+			emit(er, *csv, *chart)
+		}
+	case "fig6":
+		er, err := experiments.Fig6(eval)
+		if err != nil {
+			fatal(err)
+		}
+		emit(er, *csv, *chart)
+	case "fig7":
+		var all []*experiments.EvalResult
+		panels, err := experiments.Fig5(experiments.Fig5Options{Eval: eval, Sizes: sizesOf(*size)})
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, panels.Panels...)
+		xg, err := experiments.Fig6(eval)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, xg)
+		for _, fig := range experiments.Fig7(all) {
+			if *csv {
+				fmt.Println(fig.CSV())
+			} else {
+				fmt.Println(fig.Render())
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func emit(er *experiments.EvalResult, csv, chart bool) {
+	if csv {
+		fmt.Println(er.Figure.CSV())
+		return
+	}
+	fmt.Println(er.Figure.Render())
+	if chart {
+		fmt.Println(er.Figure.Chart(50))
+	}
+	tbl := experiments.SpeedupSummary(er)
+	fmt.Println(tbl.Render())
+}
+
+func sizesOf(s string) []workloads.Pixie3DSize {
+	switch s {
+	case "small":
+		return []workloads.Pixie3DSize{workloads.Pixie3DSmall}
+	case "large":
+		return []workloads.Pixie3DSize{workloads.Pixie3DLarge}
+	case "xl":
+		return []workloads.Pixie3DSize{workloads.Pixie3DXL}
+	case "all", "":
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "unknown size %q\n", s)
+	os.Exit(2)
+	return nil
+}
+
+func parseInts(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adaptbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command iorsim reproduces the paper's Section II measurements: the IOR
+// internal-interference grid (Figure 1), the external-interference
+// variability study (Table I), its bandwidth histograms (Figure 2), and the
+// imbalanced-writers illustration (Figure 3).
+//
+// Usage:
+//
+//	iorsim -experiment fig1  [-osts 512] [-samples 40] [-sizes 1,8,128,1024] [-ratios 1,2,4,8,16,32]
+//	iorsim -experiment table1 [-samples 469] [-scale 1]
+//	iorsim -experiment fig2  [-samples 469] [-scale 1] [-bins 12]
+//	iorsim -experiment fig3  [-osts 512] [-avg-over 40]
+//
+// All experiments accept -seed. Reduced -osts / -scale runs preserve the
+// per-target ratios that drive every effect, so shapes persist at a
+// fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/pfs"
+	"repro/metrics"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig1", "fig1 | table1 | fig2 | fig3")
+		osts       = flag.Int("osts", 512, "storage targets (fig1/fig3)")
+		samples    = flag.Int("samples", 0, "samples per point (0 = paper default)")
+		sizes      = flag.String("sizes", "1,8,128,1024", "per-writer sizes in MB (fig1)")
+		ratios     = flag.String("ratios", "1,2,4,8,16,32", "writers-per-OST ratios (fig1)")
+		scale      = flag.Int("scale", 1, "scale divisor for table1/fig2 machine sizes")
+		bins       = flag.Int("bins", 12, "histogram bins (fig2)")
+		avgOver    = flag.Int("avg-over", 40, "tests feeding the average imbalance (fig3)")
+		seed       = flag.Int64("seed", 42, "master seed")
+		noNoise    = flag.Bool("no-noise", false, "disable production background noise (fig1)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
+	)
+	flag.Parse()
+
+	switch *experiment {
+	case "fig1":
+		runFig1(*osts, *samples, *sizes, *ratios, *seed, *noNoise, *csv)
+	case "table1", "fig2":
+		runTableI(*experiment, *samples, *scale, *bins, *seed, *csv)
+	case "fig3":
+		runFig3(*osts, *avgOver, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad number %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range parseFloats(s) {
+		out = append(out, int(f))
+	}
+	return out
+}
+
+func runFig1(osts, samples int, sizes, ratios string, seed int64, noNoise, csv bool) {
+	opt := experiments.Fig1Options{
+		OSTs:    osts,
+		Ratios:  parseInts(ratios),
+		SizesMB: parseFloats(sizes),
+		Samples: samples,
+		Seed:    seed,
+		NoNoise: noNoise,
+	}
+	fmt.Printf("# Figure 1 — internal interference (IOR, POSIX-IO, one file per writer)\n")
+	fmt.Printf("# OSTs=%d samples/point=%d noise=%v\n\n", opt.OSTs, orPaper(samples, 40), !noNoise)
+	res, err := experiments.Fig1(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if csv {
+		fmt.Println(res.Aggregate.CSV())
+		fmt.Println(res.PerWriter.CSV())
+		return
+	}
+	fmt.Println(res.Aggregate.Render())
+	fmt.Println(res.PerWriter.Render())
+	if bad := experiments.Fig1ShapeChecks(res, opt); len(bad) > 0 {
+		fmt.Println("shape-check violations:")
+		for _, b := range bad {
+			fmt.Println("  -", b)
+		}
+	} else {
+		fmt.Println("shape-check: all Figure 1 qualitative claims hold")
+	}
+}
+
+func runTableI(which string, samples, scale, bins int, seed int64, csv bool) {
+	opt := experiments.TableIOptions{
+		JaguarSamples:   samples,
+		FranklinSamples: samples,
+		XTPSamples:      samples,
+		ScaleOSTs:       scale,
+		Seed:            seed,
+	}
+	res, err := experiments.TableI(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if which == "table1" {
+		if csv {
+			fmt.Println(res.Table.CSV())
+			return
+		}
+		fmt.Println(res.Table.Render())
+		fmt.Println("\nImbalance factors (slowest/fastest writer):")
+		for _, s := range res.Series {
+			sum := metrics.Summarize(s.Imbalances)
+			fmt.Printf("  %-20s avg %.2f  max %.2f\n", s.Machine, sum.Mean, sum.Max)
+		}
+		return
+	}
+	for _, h := range experiments.Fig2(res, bins) {
+		fmt.Println(h.Render())
+	}
+}
+
+func runFig3(osts, avgOver int, seed int64) {
+	res, err := experiments.Fig3(experiments.Fig3Options{
+		OSTs:        osts,
+		AverageOver: avgOver,
+		Seed:        seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("# Figure 3 — imbalanced concurrent writers (two tests 3 minutes apart)")
+	fmt.Printf("Test 1 imbalance factor: %.2f\n", res.Imbalance1)
+	fmt.Printf("Test 2 imbalance factor: %.2f\n", res.Imbalance2)
+	fmt.Printf("Overall average imbalance (%d tests): %.2f  (max %.2f)\n\n",
+		avgOver, res.AvgImbalance, res.MaxImbalance)
+	fmt.Println("Per-writer write times, test 1 vs test 2 (seconds):")
+	sum1 := metrics.Summarize(res.Test1Times)
+	sum2 := metrics.Summarize(res.Test2Times)
+	fmt.Printf("  test1: min %.2f  mean %.2f  max %.2f\n", sum1.Min, sum1.Mean, sum1.Max)
+	fmt.Printf("  test2: min %.2f  mean %.2f  max %.2f\n", sum2.Min, sum2.Mean, sum2.Max)
+	h1 := metrics.HistogramFigure{Title: "Test 1 write-time distribution", XUnit: "s", Bins: 10, Data: res.Test1Times}
+	h2 := metrics.HistogramFigure{Title: "Test 2 write-time distribution", XUnit: "s", Bins: 10, Data: res.Test2Times}
+	fmt.Println(h1.Render())
+	fmt.Println(h2.Render())
+	_ = pfs.MB
+}
+
+func orPaper(v, dflt int) int {
+	if v <= 0 {
+		return dflt
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iorsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,371 @@
+// Package bp implements a BP-style self-describing binary index format of
+// the kind ADIOS writes (the paper's Section III: writers ship per-variable
+// index records to their sub-coordinator; each sub-coordinator sorts, merges
+// and writes a local index for its file; the coordinator merges local
+// indices into a global index describing the whole output set).
+//
+// Index records carry data characteristics (per-variable min/max, following
+// the authors' earlier "metadata rich IO" work) which let a reader locate
+// data of interest — by name, by writer rank, or by value range — with a
+// single index lookup followed by one direct read.
+//
+// The encoding is a compact little-endian binary layout with a magic number
+// and version, written with encoding/binary. It produces real bytes: the
+// examples persist indices to disk and read them back.
+package bp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Format constants.
+const (
+	MagicLocal  uint32 = 0xAD105001 // "ADIOS" local index
+	MagicGlobal uint32 = 0xAD105002 // global index
+	Version     uint16 = 1
+
+	// maxStringLen guards decoding against corrupt length prefixes.
+	maxStringLen = 1 << 16
+	// maxEntries guards decoding against corrupt counts.
+	maxEntries = 1 << 24
+)
+
+// VarEntry is one variable record in a local index: where one writer's
+// block of one variable lives, plus its data characteristics.
+type VarEntry struct {
+	// Name of the variable ("pressure", "B_x", ...).
+	Name string
+	// WriterRank is the producing process's rank in the output group.
+	WriterRank int32
+	// Offset and Length locate the block within its data file.
+	Offset int64
+	Length int64
+	// Dims are the block's local dimensions (elements per axis).
+	Dims []uint64
+	// Min and Max are the block's value range (data characteristics).
+	Min float64
+	Max float64
+}
+
+// LocalIndex describes one data file: which variable blocks it holds.
+type LocalIndex struct {
+	// File is the data file's name.
+	File string
+	// Entries are the variable records, sorted by (Name, WriterRank) once
+	// Sort has been called (sub-coordinators sort before writing).
+	Entries []VarEntry
+}
+
+// Sort orders entries by (Name, WriterRank, Offset), the canonical order a
+// sub-coordinator establishes before writing the index.
+func (li *LocalIndex) Sort() {
+	sort.Slice(li.Entries, func(i, j int) bool {
+		a, b := li.Entries[i], li.Entries[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.WriterRank != b.WriterRank {
+			return a.WriterRank < b.WriterRank
+		}
+		return a.Offset < b.Offset
+	})
+}
+
+// TotalBytes sums the data bytes the index covers.
+func (li *LocalIndex) TotalBytes() int64 {
+	var t int64
+	for _, e := range li.Entries {
+		t += e.Length
+	}
+	return t
+}
+
+// GlobalIndex merges the local indices of one output operation.
+type GlobalIndex struct {
+	// Step is the application output step this index describes.
+	Step int64
+	// Locals are the per-file indices, sorted by file name.
+	Locals []LocalIndex
+}
+
+// Sort orders locals by file name and each local's entries canonically.
+func (g *GlobalIndex) Sort() {
+	sort.Slice(g.Locals, func(i, j int) bool { return g.Locals[i].File < g.Locals[j].File })
+	for i := range g.Locals {
+		g.Locals[i].Sort()
+	}
+}
+
+// Location names one variable block: the file it is in plus its record.
+type Location struct {
+	File  string
+	Entry VarEntry
+}
+
+// Lookup finds the block of a variable written by a specific rank. With
+// rank < 0 it returns the first block of that variable.
+func (g *GlobalIndex) Lookup(name string, rank int32) (Location, bool) {
+	for _, li := range g.Locals {
+		for _, e := range li.Entries {
+			if e.Name == name && (rank < 0 || e.WriterRank == rank) {
+				return Location{File: li.File, Entry: e}, true
+			}
+		}
+	}
+	return Location{}, false
+}
+
+// FindByValue returns all blocks of a variable whose [Min, Max]
+// characteristics intersect [lo, hi] — the characteristics-based search the
+// paper describes as the interim replacement for the global indexing phase.
+func (g *GlobalIndex) FindByValue(name string, lo, hi float64) []Location {
+	var out []Location
+	for _, li := range g.Locals {
+		for _, e := range li.Entries {
+			if e.Name == name && e.Max >= lo && e.Min <= hi {
+				out = append(out, Location{File: li.File, Entry: e})
+			}
+		}
+	}
+	return out
+}
+
+// Vars lists the distinct variable names in the index, sorted.
+func (g *GlobalIndex) Vars() []string {
+	set := map[string]struct{}{}
+	for _, li := range g.Locals {
+		for _, e := range li.Entries {
+			set[e.Name] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEntries counts variable records across all locals.
+func (g *GlobalIndex) NumEntries() int {
+	n := 0
+	for _, li := range g.Locals {
+		n += len(li.Entries)
+	}
+	return n
+}
+
+// --- encoding ---
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("bp: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("bp: corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeEntry(w io.Writer, e *VarEntry) error {
+	if err := writeString(w, e.Name); err != nil {
+		return err
+	}
+	fixed := []any{e.WriterRank, e.Offset, e.Length, e.Min, e.Max, uint32(len(e.Dims))}
+	for _, v := range fixed {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, e.Dims)
+}
+
+func readEntry(r io.Reader) (VarEntry, error) {
+	var e VarEntry
+	var err error
+	if e.Name, err = readString(r); err != nil {
+		return e, err
+	}
+	var nDims uint32
+	for _, v := range []any{&e.WriterRank, &e.Offset, &e.Length, &e.Min, &e.Max, &nDims} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return e, err
+		}
+	}
+	if nDims > 16 {
+		return e, fmt.Errorf("bp: corrupt dimension count %d", nDims)
+	}
+	if nDims > 0 {
+		e.Dims = make([]uint64, nDims)
+		if err := binary.Read(r, binary.LittleEndian, e.Dims); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// Encode serialises the local index.
+func (li *LocalIndex) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := binary.Write(&b, binary.LittleEndian, MagicLocal); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&b, binary.LittleEndian, Version); err != nil {
+		return nil, err
+	}
+	if err := writeString(&b, li.File); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&b, binary.LittleEndian, uint32(len(li.Entries))); err != nil {
+		return nil, err
+	}
+	for i := range li.Entries {
+		if err := writeEntry(&b, &li.Entries[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeLocal parses a local index from data.
+func DecodeLocal(data []byte) (*LocalIndex, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	var ver uint16
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != MagicLocal {
+		return nil, fmt.Errorf("bp: bad local-index magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("bp: unsupported version %d", ver)
+	}
+	li := &LocalIndex{}
+	var err error
+	if li.File, err = readString(r); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, fmt.Errorf("bp: corrupt entry count %d", n)
+	}
+	li.Entries = make([]VarEntry, n)
+	for i := range li.Entries {
+		if li.Entries[i], err = readEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	return li, nil
+}
+
+// Encode serialises the global index (sorting it canonically first).
+func (g *GlobalIndex) Encode() ([]byte, error) {
+	g.Sort()
+	var b bytes.Buffer
+	if err := binary.Write(&b, binary.LittleEndian, MagicGlobal); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&b, binary.LittleEndian, Version); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&b, binary.LittleEndian, g.Step); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&b, binary.LittleEndian, uint32(len(g.Locals))); err != nil {
+		return nil, err
+	}
+	for i := range g.Locals {
+		enc, err := g.Locals[i].Encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&b, binary.LittleEndian, uint64(len(enc))); err != nil {
+			return nil, err
+		}
+		b.Write(enc)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeGlobal parses a global index from data.
+func DecodeGlobal(data []byte) (*GlobalIndex, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	var ver uint16
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != MagicGlobal {
+		return nil, fmt.Errorf("bp: bad global-index magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("bp: unsupported version %d", ver)
+	}
+	g := &GlobalIndex{}
+	if err := binary.Read(r, binary.LittleEndian, &g.Step); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, fmt.Errorf("bp: corrupt locals count %d", n)
+	}
+	g.Locals = make([]LocalIndex, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var sz uint64
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return nil, err
+		}
+		if sz > uint64(r.Len()) {
+			return nil, fmt.Errorf("bp: corrupt local size %d", sz)
+		}
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		li, err := DecodeLocal(buf)
+		if err != nil {
+			return nil, err
+		}
+		g.Locals = append(g.Locals, *li)
+	}
+	return g, nil
+}
+
+// EncodedSize estimates the byte cost of an entry when transferred as index
+// metadata (used by the middleware to charge index traffic to the model).
+func (e *VarEntry) EncodedSize() int {
+	return 4 + len(e.Name) + 4 + 8 + 8 + 8 + 8 + 4 + 8*len(e.Dims)
+}

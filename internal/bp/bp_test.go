@@ -1,0 +1,224 @@
+package bp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLocal() LocalIndex {
+	return LocalIndex{
+		File: "pixie3d.0003.bp",
+		Entries: []VarEntry{
+			{Name: "rho", WriterRank: 2, Offset: 0, Length: 1024, Dims: []uint64{8, 8, 16}, Min: -1.5, Max: 2.25},
+			{Name: "B_x", WriterRank: 0, Offset: 1024, Length: 2048, Dims: []uint64{16, 16, 8}, Min: 0, Max: 9.75},
+			{Name: "rho", WriterRank: 0, Offset: 3072, Length: 1024, Min: -3, Max: -0.5},
+		},
+	}
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	li := sampleLocal()
+	enc, err := li.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLocal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, li) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, li)
+	}
+}
+
+func TestLocalSortCanonicalOrder(t *testing.T) {
+	li := sampleLocal()
+	li.Sort()
+	names := make([]string, len(li.Entries))
+	for i, e := range li.Entries {
+		names[i] = e.Name
+	}
+	if !reflect.DeepEqual(names, []string{"B_x", "rho", "rho"}) {
+		t.Fatalf("sorted names = %v", names)
+	}
+	if li.Entries[1].WriterRank != 0 || li.Entries[2].WriterRank != 2 {
+		t.Fatal("rho entries not ordered by rank")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	li := sampleLocal()
+	if got := li.TotalBytes(); got != 4096 {
+		t.Fatalf("total bytes = %d", got)
+	}
+}
+
+func TestGlobalRoundTripAndSort(t *testing.T) {
+	g := GlobalIndex{
+		Step: 7,
+		Locals: []LocalIndex{
+			{File: "out.2.bp", Entries: []VarEntry{{Name: "v", WriterRank: 3, Length: 10}}},
+			sampleLocal(),
+		},
+	}
+	enc, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGlobal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 || len(got.Locals) != 2 {
+		t.Fatalf("global header wrong: %+v", got)
+	}
+	// Encode sorts by file name.
+	if got.Locals[0].File != "out.2.bp" || got.Locals[1].File != "pixie3d.0003.bp" {
+		t.Fatalf("locals order: %s, %s", got.Locals[0].File, got.Locals[1].File)
+	}
+	if got.NumEntries() != 4 {
+		t.Fatalf("entries = %d", got.NumEntries())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := GlobalIndex{Locals: []LocalIndex{sampleLocal()}}
+	loc, ok := g.Lookup("rho", 2)
+	if !ok || loc.File != "pixie3d.0003.bp" || loc.Entry.Offset != 0 {
+		t.Fatalf("lookup = %+v, %v", loc, ok)
+	}
+	if _, ok := g.Lookup("rho", 99); ok {
+		t.Fatal("lookup of absent rank should fail")
+	}
+	if _, ok := g.Lookup("ghost", -1); ok {
+		t.Fatal("lookup of absent variable should fail")
+	}
+	loc, ok = g.Lookup("rho", -1)
+	if !ok {
+		t.Fatal("wildcard rank lookup failed")
+	}
+}
+
+func TestFindByValueCharacteristics(t *testing.T) {
+	g := GlobalIndex{Locals: []LocalIndex{sampleLocal()}}
+	// rho blocks: [-1.5, 2.25] (rank 2) and [-3, -0.5] (rank 0).
+	hits := g.FindByValue("rho", 0, 10)
+	if len(hits) != 1 || hits[0].Entry.WriterRank != 2 {
+		t.Fatalf("value search [0,10] = %+v", hits)
+	}
+	hits = g.FindByValue("rho", -2, -1)
+	if len(hits) != 2 {
+		t.Fatalf("value search [-2,-1] hits = %d, want 2 (both ranges intersect)", len(hits))
+	}
+	if hits := g.FindByValue("rho", 100, 200); hits != nil {
+		t.Fatalf("out-of-range search = %+v", hits)
+	}
+}
+
+func TestVars(t *testing.T) {
+	g := GlobalIndex{Locals: []LocalIndex{sampleLocal()}}
+	if got := g.Vars(); !reflect.DeepEqual(got, []string{"B_x", "rho"}) {
+		t.Fatalf("vars = %v", got)
+	}
+}
+
+func TestDecodeRejectsCorruptMagic(t *testing.T) {
+	li := sampleLocal()
+	enc, _ := li.Encode()
+	enc[0] ^= 0xFF
+	if _, err := DecodeLocal(enc); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	g := GlobalIndex{Locals: []LocalIndex{li}}
+	genc, _ := g.Encode()
+	genc[0] ^= 0xFF
+	if _, err := DecodeGlobal(genc); err == nil {
+		t.Fatal("corrupt global magic accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	li := sampleLocal()
+	enc, _ := li.Encode()
+	for _, cut := range []int{1, 5, 7, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeLocal(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	li := sampleLocal()
+	enc, _ := li.Encode()
+	enc[4] = 0xFF // version low byte
+	if _, err := DecodeLocal(enc); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestDecodeLocalAsGlobalFails(t *testing.T) {
+	li := sampleLocal()
+	enc, _ := li.Encode()
+	if _, err := DecodeGlobal(enc); err == nil {
+		t.Fatal("local bytes decoded as global")
+	}
+}
+
+func TestEncodedSizePositive(t *testing.T) {
+	e := sampleLocal().Entries[0]
+	if e.EncodedSize() < 40 {
+		t.Fatalf("encoded size = %d suspiciously small", e.EncodedSize())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(file string, names []string, ranks []int32, vals []float64) bool {
+		if len(file) > 1000 {
+			file = file[:1000]
+		}
+		li := LocalIndex{File: file}
+		for i, n := range names {
+			if len(n) > 200 {
+				n = n[:200]
+			}
+			e := VarEntry{Name: n}
+			if i < len(ranks) {
+				e.WriterRank = ranks[i]
+			}
+			if i < len(vals) && !math.IsNaN(vals[i]) {
+				e.Min = vals[i]
+				e.Max = vals[i] + 1
+			}
+			e.Offset = int64(i * 100)
+			e.Length = int64(i * 10)
+			e.Dims = []uint64{uint64(i), uint64(i * 2)}
+			li.Entries = append(li.Entries, e)
+		}
+		enc, err := li.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeLocal(enc)
+		if err != nil {
+			return false
+		}
+		if got.File != li.File || len(got.Entries) != len(li.Entries) {
+			return false
+		}
+		for i := range li.Entries {
+			a, b := li.Entries[i], got.Entries[i]
+			if a.Name != b.Name || a.WriterRank != b.WriterRank ||
+				a.Offset != b.Offset || a.Length != b.Length ||
+				a.Min != b.Min || a.Max != b.Max ||
+				!reflect.DeepEqual(a.Dims, b.Dims) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

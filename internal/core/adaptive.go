@@ -1,0 +1,621 @@
+// Package core implements the paper's primary contribution: the adaptive IO
+// method (Section III, Algorithms 1–3).
+//
+// Writers are grouped contiguously by rank, one group per storage target.
+// The first writer of each group additionally acts as the group's
+// sub-coordinator (SC), owning one file placed on one OST and scheduling its
+// writers onto that file one at a time. Rank 0 additionally acts as the
+// coordinator (C) for the whole output. Writers and the coordinator talk
+// only to sub-coordinators, never to each other, which bounds the message
+// load on any single process.
+//
+// The adaptive mechanism: as sub-coordinators finish, their files (and thus
+// their storage targets) become idle; the coordinator shifts queued writers
+// from still-writing (slow) groups onto those idle (fast) targets, appending
+// at the coordinator-tracked end offset, with at most one write active per
+// file at any time. Work therefore drains from the slow areas of the file
+// system into the fast ones — directly attacking the imbalance factor
+// measured in Section II.
+//
+// Index handling follows the paper: each writer builds its local index
+// entries from its assigned offset and ships them (separately from, and
+// after, its data) to the *target* file's sub-coordinator; each SC sorts and
+// merges its entries and writes a per-file local index; the coordinator
+// gathers the local indices into a global index. (The paper notes the global
+// indexing phase was the one unfinished piece, with a characteristics-based
+// search as the interim; this implementation provides both — see
+// bp.GlobalIndex.FindByValue.)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bp"
+	"repro/internal/iomethod"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// Message tags: each role listens on its own tag so the writer, SC, and C
+// activities hosted by one rank never steal each other's messages.
+const (
+	tagToWriter = 1001
+	tagToSC     = 1002
+	tagToC      = 1003
+)
+
+// Wire messages (Algorithms 1–3).
+type (
+	// msgWriteGo is the "(target, offset)" signal a writer waits for.
+	msgWriteGo struct {
+		TargetGroup int
+		Offset      int64
+	}
+	// msgWriteComplete is Algorithm 1's WRITE COMPLETE.
+	msgWriteComplete struct {
+		Writer      int
+		SourceGroup int
+		TargetGroup int
+		Bytes       int64
+	}
+	// msgIndexBody carries a writer's index entries to the target SC.
+	msgIndexBody struct {
+		Writer  int
+		Entries []bp.VarEntry
+	}
+	// msgAdaptiveStart is C's ADAPTIVE WRITE START request to an SC.
+	msgAdaptiveStart struct {
+		TargetGroup int
+		Offset      int64
+	}
+	// msgWritersBusy is the SC's refusal: all its writers are scheduled.
+	msgWritersBusy struct {
+		Group       int
+		TargetGroup int // echoed so C can free the reserved target
+	}
+	// msgSCComplete is the SC's completion report (with its file's end).
+	msgSCComplete struct {
+		Group       int
+		FinalOffset int64
+	}
+	// msgAdaptiveDone is the triggering SC's forward of an adaptive write's
+	// completion to C.
+	msgAdaptiveDone struct {
+		SourceGroup int
+		TargetGroup int
+		Bytes       int64
+	}
+	// msgOverallComplete is C's OVERALL WRITE COMPLETE broadcast.
+	msgOverallComplete struct{}
+	// msgLocalIndex ships an SC's finished local index to C.
+	msgLocalIndex struct {
+		Group int
+		Index bp.LocalIndex
+	}
+)
+
+// Config tunes the adaptive method.
+type Config struct {
+	// OSTs are the storage targets to use, one writer group per target
+	// (the paper's evaluations use 512 of Jaguar's OSTs, successfully
+	// tested with all 672). Empty means all targets of the file system.
+	OSTs []int
+
+	// WritersPerTarget generalises the "one simultaneous writer per storage
+	// location" invariant (the paper mentions 2–3 as an unevaluated
+	// generalisation). Default 1, the paper's configuration.
+	WritersPerTarget int
+
+	// StaggerOpens spaces the sub-coordinators' file creates by this delay
+	// times the group index, the stagger technique for managing metadata-
+	// server load (from the authors' earlier Cray User's Group work).
+	// Zero disables staggering.
+	StaggerOpens time.Duration
+
+	// WriteGlobalIndex controls whether the coordinator writes the merged
+	// global index file at the end of the step (default true via New).
+	WriteGlobalIndex bool
+
+	// DisableAdaptation turns the coordinator's work-shifting off while
+	// keeping everything else (grouping, serialisation, indexing) intact —
+	// a pure ablation of the adaptive mechanism itself.
+	DisableAdaptation bool
+
+	// HistoryAware enables the paper's future-work extension ("more
+	// complex and/or state-rich methods for system adaptation, including
+	// those that take into account past usage data"): instead of serving
+	// idle targets in scan order, the coordinator dispatches adaptive
+	// writes to the idle target with the highest observed bandwidth
+	// (bytes written / completion time), so redirected work prefers the
+	// fastest areas of the file system.
+	HistoryAware bool
+}
+
+// Adaptive is the adaptive IO method bound to a world and file system.
+type Adaptive struct {
+	w   *mpisim.World
+	fs  *pfs.FileSystem
+	cfg Config
+
+	steps     map[string]*stepState
+	stepCount int
+}
+
+// New builds an Adaptive method. The zero Config selects all storage
+// targets, one writer per target, no stagger, and global-index writing.
+func New(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Adaptive, error) {
+	if len(cfg.OSTs) == 0 {
+		cfg.OSTs = make([]int, len(fs.OSTs))
+		for i := range cfg.OSTs {
+			cfg.OSTs[i] = i
+		}
+	}
+	for _, o := range cfg.OSTs {
+		if o < 0 || o >= len(fs.OSTs) {
+			return nil, fmt.Errorf("core: OST %d out of range", o)
+		}
+	}
+	if cfg.WritersPerTarget == 0 {
+		cfg.WritersPerTarget = 1
+	}
+	if cfg.WritersPerTarget < 0 {
+		return nil, fmt.Errorf("core: negative WritersPerTarget")
+	}
+	cfg.WriteGlobalIndex = true
+	return &Adaptive{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}, nil
+}
+
+// NewNoGlobalIndex is New with the global indexing phase disabled (the
+// paper's deployed configuration, which used characteristics-based search
+// of the per-file indices instead).
+func NewNoGlobalIndex(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Adaptive, error) {
+	a, err := New(w, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.cfg.WriteGlobalIndex = false
+	return a, nil
+}
+
+// Name implements iomethod.Method.
+func (a *Adaptive) Name() string { return "ADAPTIVE" }
+
+// stepState is the shared bookkeeping of one collective output step.
+type stepState struct {
+	name      string
+	seq       int
+	res       *iomethod.StepResult
+	groups    [][]int // writer ranks per group
+	groupOf   []int   // rank -> group
+	files     []*pfs.File
+	fileNames []string
+	dataOf    []iomethod.RankData
+
+	arrived    int
+	setupDone  *simkernel.WaitGroup
+	start      *simkernel.Signal
+	t0         simkernel.Time
+	t0Set      bool
+	returned   int
+	globalText []byte // encoded global index (for inspection/examples)
+}
+
+// planGroups splits W ranks into contiguous groups, one per storage target,
+// shrinking the group count when there are fewer writers than targets.
+func planGroups(W, targets int) [][]int {
+	if targets > W {
+		targets = W
+	}
+	gsize := (W + targets - 1) / targets
+	numGroups := (W + gsize - 1) / gsize
+	groups := make([][]int, 0, numGroups)
+	for g := 0; g < numGroups; g++ {
+		lo := g * gsize
+		hi := lo + gsize
+		if hi > W {
+			hi = W
+		}
+		members := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			members = append(members, r)
+		}
+		groups = append(groups, members)
+	}
+	return groups
+}
+
+// getStep returns (creating on first arrival) the shared state for a step.
+func (a *Adaptive) getStep(stepName string) *stepState {
+	st, ok := a.steps[stepName]
+	if !ok {
+		W := a.w.Size()
+		groups := planGroups(W, len(a.cfg.OSTs))
+		st = &stepState{
+			name:      stepName,
+			seq:       a.stepCount,
+			groups:    groups,
+			groupOf:   make([]int, W),
+			files:     make([]*pfs.File, len(groups)),
+			fileNames: make([]string, len(groups)),
+			dataOf:    make([]iomethod.RankData, W),
+			setupDone: simkernel.NewWaitGroup(a.w.Kernel()),
+			start:     simkernel.NewSignal(a.w.Kernel()),
+			res: &iomethod.StepResult{
+				WriterTimes: make([]float64, W),
+				Files:       len(groups),
+			},
+		}
+		a.stepCount++
+		for g, members := range groups {
+			for _, r := range members {
+				st.groupOf[r] = g
+			}
+			st.fileNames[g] = fmt.Sprintf("%s.g%04d.bp", stepName, g)
+		}
+		st.setupDone.Add(W)
+		a.steps[stepName] = st
+	}
+	return st
+}
+
+// WriteStep implements iomethod.Method. Every rank must call it with the
+// same stepName; it returns once this rank's writer role (and any SC/C
+// roles it hosts) have finished the step.
+func (a *Adaptive) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankData) (*iomethod.StepResult, error) {
+	st := a.getStep(stepName)
+	rank := r.Rank()
+	g := st.groupOf[rank]
+	isSC := st.groups[g][0] == rank
+	isC := rank == 0
+	p := r.Proc()
+
+	st.dataOf[rank] = data
+
+	// --- Untimed setup phase: SCs create the group files (optionally
+	// staggered to spare the metadata server), everyone synchronises. ---
+	if isSC {
+		if a.cfg.StaggerOpens > 0 {
+			p.Sleep(time.Duration(g) * a.cfg.StaggerOpens)
+		}
+		f, err := a.fs.Create(p, st.fileNames[g], pfs.Layout{OSTs: []int{a.cfg.OSTs[g%len(a.cfg.OSTs)]}})
+		if err != nil {
+			return nil, err
+		}
+		st.files[g] = f
+	}
+	st.setupDone.Done()
+	st.setupDone.Wait(p)
+	if !st.t0Set {
+		st.t0 = p.Now()
+		st.t0Set = true
+		st.res.MDSOpenQueuePeak = a.fs.MDS.Stats.MaxQueue
+	}
+	st.start.Broadcast()
+
+	// --- Timed phase. ---
+	scDone := simkernel.NewWaitGroup(a.w.Kernel())
+	if isSC {
+		scDone.Add(1)
+		a.spawnSC(r, st, g, scDone)
+	}
+	cDone := simkernel.NewWaitGroup(a.w.Kernel())
+	if isC {
+		cDone.Add(1)
+		a.spawnC(r, st, cDone)
+	}
+
+	// Writer role (Algorithm 1).
+	if err := a.writerRole(r, st, rank, g, data); err != nil {
+		return nil, err
+	}
+
+	if isSC {
+		scDone.Wait(p)
+	}
+	if isC {
+		cDone.Wait(p)
+	}
+
+	// Track the operation's overall span.
+	if el := (p.Now() - st.t0).Seconds(); el > st.res.Elapsed {
+		st.res.Elapsed = el
+	}
+
+	st.returned++
+	if st.returned == a.w.Size() {
+		delete(a.steps, stepName)
+	}
+	return st.res, nil
+}
+
+// writerRole is Algorithm 1: wait for (target, offset); build the local
+// index from the offset; write; report completion to the triggering SC (and
+// the target SC if different); ship the index to the target SC.
+func (a *Adaptive) writerRole(r *mpisim.Rank, st *stepState, rank, g int, data iomethod.RankData) error {
+	p := r.Proc()
+	m := r.RecvAs(p, mpisim.AnySource, tagToWriter)
+	go_ := m.Data.(msgWriteGo)
+
+	entries, total := iomethod.BuildEntries(rank, go_.Offset, data)
+	file := st.files[go_.TargetGroup]
+	file.WriteAt(p, go_.Offset, total)
+
+	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
+	st.res.TotalBytes += float64(total)
+	if go_.TargetGroup != g {
+		st.res.AdaptiveWrites++
+	}
+
+	triggeringSC := st.groups[g][0]
+	targetSC := st.groups[go_.TargetGroup][0]
+	done := msgWriteComplete{Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup, Bytes: total}
+	r.Send(triggeringSC, tagToSC, done)
+	if targetSC != triggeringSC {
+		r.Send(targetSC, tagToSC, done)
+	}
+	// The index travels separately and after the data, so its transfer
+	// overlaps the next writer's data (Section III-B.1).
+	r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Entries: entries})
+	return nil
+}
+
+// spawnSC launches the sub-coordinator loop (Algorithm 2) as a helper
+// process on the SC rank.
+func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel.WaitGroup) {
+	members := st.groups[g]
+	coordRank := 0
+	a.w.Kernel().Spawn(fmt.Sprintf("SC[g%d]", g), func(p *simkernel.Proc) {
+		defer done.Done()
+		st.start.Wait(p)
+
+		waiting := append([]int(nil), members...) // writers not yet signalled
+		myOffset := int64(0)
+		activeOnMyFile := 0
+		completedOwn := 0
+		missingIndices := 0
+		scCompleteSent := false
+		loopDone := false
+		var indexEntries []bp.VarEntry
+
+		signalNext := func() {
+			for activeOnMyFile < a.cfg.WritersPerTarget && len(waiting) > 0 {
+				wtr := waiting[0]
+				waiting = waiting[1:]
+				r.SendFrom(r.Rank(), wtr, tagToWriter, msgWriteGo{TargetGroup: g, Offset: myOffset})
+				myOffset += st.dataOf[wtr].TotalBytes()
+				activeOnMyFile++
+			}
+		}
+
+		for !loopDone || missingIndices > 0 {
+			// Algorithm 2 line 2: keep our own target fed.
+			if !loopDone {
+				signalNext()
+			}
+			m := r.RecvAs(p, mpisim.AnySource, tagToSC)
+			switch msg := m.Data.(type) {
+			case msgWriteComplete:
+				if msg.SourceGroup == g && msg.TargetGroup != g {
+					// One of mine completed an adaptive write elsewhere:
+					// forward to C (Algorithm 2 line 6).
+					r.SendFrom(r.Rank(), coordRank, tagToC, msgAdaptiveDone{
+						SourceGroup: g, TargetGroup: msg.TargetGroup, Bytes: msg.Bytes,
+					})
+					completedOwn++
+				}
+				if msg.TargetGroup == g {
+					// A write to my file finished: slot free, and an index
+					// body is now owed to me (lines 8–11).
+					if msg.SourceGroup == g {
+						activeOnMyFile--
+						completedOwn++
+					}
+					missingIndices++
+				}
+				if completedOwn == len(members) && !scCompleteSent {
+					scCompleteSent = true
+					r.SendFrom(r.Rank(), coordRank, tagToC, msgSCComplete{Group: g, FinalOffset: myOffset})
+				}
+			case msgIndexBody:
+				indexEntries = append(indexEntries, msg.Entries...)
+				missingIndices--
+			case msgAdaptiveStart:
+				if len(waiting) == 0 {
+					r.SendFrom(r.Rank(), coordRank, tagToC, msgWritersBusy{Group: g, TargetGroup: msg.TargetGroup})
+				} else {
+					wtr := waiting[0]
+					waiting = waiting[1:]
+					r.SendFrom(r.Rank(), wtr, tagToWriter, msgWriteGo{
+						TargetGroup: msg.TargetGroup, Offset: msg.Offset,
+					})
+				}
+			case msgOverallComplete:
+				loopDone = true
+			default:
+				panic(fmt.Sprintf("core: SC[g%d] unexpected message %T", g, m.Data))
+			}
+		}
+
+		// Algorithm 2 epilogue: sort and merge the index pieces, write the
+		// local index, send it to C.
+		li := bp.LocalIndex{File: st.fileNames[g], Entries: indexEntries}
+		li.Sort()
+		enc, err := li.Encode()
+		if err != nil {
+			panic(err)
+		}
+		file := st.files[g]
+		file.Append(p, int64(len(enc)))
+		st.res.IndexBytes += float64(len(enc))
+		// Explicit flush before close (the paper's measurement protocol).
+		file.Flush(p)
+		file.Close(p)
+		r.SendFrom(r.Rank(), coordRank, tagToC, msgLocalIndex{Group: g, Index: li})
+	})
+}
+
+// groupPhase is C's view of an SC's state (Algorithm 3).
+type groupPhase int
+
+const (
+	phaseWriting groupPhase = iota
+	phaseBusy
+	phaseComplete
+)
+
+// spawnC launches the coordinator loop (Algorithm 3) as a helper process on
+// rank 0.
+func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGroup) {
+	numGroups := len(st.groups)
+	a.w.Kernel().Spawn("C", func(p *simkernel.Proc) {
+		defer done.Done()
+		st.start.Wait(p)
+
+		phase := make([]groupPhase, numGroups)
+		offsets := make([]int64, numGroups)  // file-end offsets, valid once complete
+		targetFree := make([]int, numGroups) // free write slots on completed targets
+		speed := make([]float64, numGroups)  // observed bandwidth per target (HistoryAware)
+		cursor := 0                          // rotation over SCs, to spread requests
+		outstanding := 0                     // in-flight adaptive requests
+		completes := 0
+		tStart := p.Now()
+
+		// nextWritingSC returns the next group in writing phase, rotating,
+		// or -1.
+		nextWritingSC := func() int {
+			for i := 0; i < numGroups; i++ {
+				gg := (cursor + i) % numGroups
+				if phase[gg] == phaseWriting {
+					cursor = (gg + 1) % numGroups
+					return gg
+				}
+			}
+			return -1
+		}
+		// idleTargets returns the dispatchable targets, in scan order or —
+		// with HistoryAware — fastest-first by observed bandwidth.
+		idleTargets := func() []int {
+			var ts []int
+			for t := 0; t < numGroups; t++ {
+				if phase[t] == phaseComplete && targetFree[t] > 0 {
+					ts = append(ts, t)
+				}
+			}
+			if a.cfg.HistoryAware {
+				sortByDesc(ts, func(t int) float64 { return speed[t] })
+			}
+			return ts
+		}
+		// dispatch pairs idle completed targets with writing SCs
+		// ("adaptive writing requests are spread evenly among the sub
+		// coordinators").
+		dispatch := func() {
+			if a.cfg.DisableAdaptation {
+				return
+			}
+			for _, t := range idleTargets() {
+				for targetFree[t] > 0 {
+					sc := nextWritingSC()
+					if sc < 0 {
+						return
+					}
+					targetFree[t]--
+					outstanding++
+					r.SendFrom(0, st.groups[sc][0], tagToSC, msgAdaptiveStart{
+						TargetGroup: t, Offset: offsets[t],
+					})
+					// The offset advances only at completion; one request
+					// in flight per target keeps offsets consistent.
+				}
+			}
+		}
+
+		for completes < numGroups || outstanding > 0 {
+			m := r.RecvAs(p, mpisim.AnySource, tagToC)
+			switch msg := m.Data.(type) {
+			case msgSCComplete:
+				phase[msg.Group] = phaseComplete
+				offsets[msg.Group] = msg.FinalOffset
+				if el := (p.Now() - tStart).Seconds(); el > 0 {
+					speed[msg.Group] = float64(msg.FinalOffset) / el
+				}
+				// Adaptive writes to a completed file stay serialised (one
+				// request in flight per target) because the next append
+				// offset is only learned from the completion report. The
+				// WritersPerTarget generalisation applies to a group's own
+				// file, as in the paper.
+				targetFree[msg.Group] = 1
+				completes++
+				dispatch()
+			case msgAdaptiveDone:
+				offsets[msg.TargetGroup] += msg.Bytes
+				targetFree[msg.TargetGroup]++
+				outstanding--
+				dispatch()
+			case msgWritersBusy:
+				// Guard against the race where the SC completed (and we
+				// already marked it so) between our request and its refusal:
+				// never downgrade a completed group.
+				if phase[msg.Group] == phaseWriting {
+					phase[msg.Group] = phaseBusy
+				}
+				targetFree[msg.TargetGroup]++
+				outstanding--
+				dispatch()
+			default:
+				panic(fmt.Sprintf("core: C unexpected message %T", m.Data))
+			}
+		}
+
+		// Release the sub-coordinators to write their local indices.
+		for g := 0; g < numGroups; g++ {
+			r.SendFrom(0, st.groups[g][0], tagToSC, msgOverallComplete{})
+		}
+
+		// Gather index pieces, merge into the global index, write it.
+		global := &bp.GlobalIndex{Step: int64(st.seq)}
+		for i := 0; i < numGroups; i++ {
+			m := r.RecvAs(p, mpisim.AnySource, tagToC)
+			li, ok := m.Data.(msgLocalIndex)
+			if !ok {
+				panic(fmt.Sprintf("core: C expected local index, got %T", m.Data))
+			}
+			global.Locals = append(global.Locals, li.Index)
+		}
+		global.Sort()
+		st.res.Global = global
+		if a.cfg.WriteGlobalIndex {
+			enc, err := global.Encode()
+			if err != nil {
+				panic(err)
+			}
+			st.globalText = enc
+			gf, err := a.fs.Create(p, st.name+".gidx.bp", pfs.Layout{StripeCount: 1})
+			if err != nil {
+				panic(err)
+			}
+			gf.WriteAt(p, 0, int64(len(enc)))
+			st.res.IndexBytes += float64(len(enc))
+			gf.Flush(p)
+			gf.Close(p)
+		}
+	})
+}
+
+// Groups exposes the group plan for a hypothetical world size (testing and
+// diagnostics).
+func (a *Adaptive) Groups(worldSize int) [][]int {
+	return planGroups(worldSize, len(a.cfg.OSTs))
+}
+
+// sortByDesc sorts xs in place by descending key (stable insertion sort —
+// target lists are short).
+func sortByDesc(xs []int, key func(int) float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && key(xs[j]) > key(xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

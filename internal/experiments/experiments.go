@@ -1,0 +1,156 @@
+// Package experiments reproduces, one driver per artifact, every table and
+// figure of the paper's measurement and evaluation sections:
+//
+//	Fig1   — internal interference: IOR weak-scaling grid on Jaguar (II-1)
+//	TableI — external interference variability on three machines (II-2)
+//	Fig2   — bandwidth histograms of the Table I samples (II-2)
+//	Fig3   — per-writer write times and imbalance factors (II-2)
+//	Fig5   — Pixie3D small/large/XL, MPI-IO vs adaptive, ±interference (IV-A)
+//	Fig6   — XGC1 38 MB/process, same comparison (IV-B)
+//	Fig7   — standard deviation of write times for the four cases (IV-C)
+//
+// Every driver takes an options struct whose zero value reproduces the
+// paper's configuration (writer counts, sample counts, machine presets) and
+// offers scaling knobs so tests and benchmarks can run the same shapes at
+// reduced cost. All results carry the raw samples so downstream analyses
+// (Fig 2 and Fig 7 reuse Table I and Fig 5/6 data, as in the paper).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/adios"
+	"repro/cluster"
+	"repro/internal/iomethod"
+	"repro/internal/workloads"
+)
+
+// Condition labels the two evaluation environments of Section IV.
+type Condition string
+
+const (
+	// Base is the paper's "normal system conditions with whatever other
+	// simultaneous jobs happen to be running" (production noise on).
+	Base Condition = "base"
+	// Interference adds the artificial interference program: 24 processes
+	// continuously writing 1 GB chunks, 3 per target across 8 targets.
+	Interference Condition = "interference"
+)
+
+// CampaignOptions configures one application IO measurement run.
+type CampaignOptions struct {
+	// Machine preset name (default "jaguar").
+	Machine string
+	// Writers is the application's process count.
+	Writers int
+	// Method selects the transport.
+	Method adios.Method
+	// MethodOSTs restricts the transport's storage targets (nil = all for
+	// adaptive, stripe-capped for MPI).
+	MethodOSTs []int
+	// Condition selects base or artificial-interference environment.
+	Condition Condition
+	// ProductionNoise toggles background noise (the paper's runs are on a
+	// production machine, so default true).
+	NoNoise bool
+	// Seed differentiates samples.
+	Seed int64
+	// PerRank produces each rank's output data.
+	PerRank func(rank int) iomethod.RankData
+	// NumOSTs optionally scales the machine down (0 = preset size).
+	NumOSTs int
+}
+
+// CampaignResult is one sample's outcome.
+type CampaignResult struct {
+	Elapsed     float64   // seconds for the whole collective output
+	AggregateBW float64   // bytes/sec
+	WriterTimes []float64 // per-rank seconds
+	TotalBytes  float64
+	Adaptive    int // adaptive (redirected) writes
+}
+
+// RunCampaign executes one collective output step of an application under
+// the given environment and returns its measurements.
+func RunCampaign(opt CampaignOptions) (CampaignResult, error) {
+	if opt.Machine == "" {
+		opt.Machine = "jaguar"
+	}
+	if opt.Writers <= 0 {
+		return CampaignResult{}, fmt.Errorf("experiments: writers must be positive")
+	}
+	if opt.PerRank == nil {
+		return CampaignResult{}, fmt.Errorf("experiments: PerRank generator required")
+	}
+	c, err := cluster.Preset(opt.Machine, cluster.Config{
+		Seed:            opt.Seed,
+		NumOSTs:         opt.NumOSTs,
+		ProductionNoise: !opt.NoNoise,
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	defer c.Shutdown()
+
+	if opt.Condition == Interference {
+		// The paper's artificial interference: stripe count 8 (two
+		// applications at the default stripe count of 4), three 1 GB
+		// writers per target.
+		c.StartArtificialInterference(nil, 0, 0)
+	}
+
+	w := c.NewWorld(opt.Writers)
+	io, err := adios.NewIO(c, w, adios.Options{Method: opt.Method, OSTs: opt.MethodOSTs})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	var res *adios.StepResult
+	var stepErr error
+	j := w.Launch(func(r *cluster.Rank) {
+		f := io.Open(r, fmt.Sprintf("%s.out", opt.Method))
+		f.WriteData(opt.PerRank(r.Rank()))
+		rr, err := f.Close()
+		if err != nil {
+			stepErr = err
+			return
+		}
+		res = rr
+	})
+	c.RunUntilDone(j)
+	if stepErr != nil {
+		return CampaignResult{}, stepErr
+	}
+	if !j.Done() || res == nil {
+		return CampaignResult{}, fmt.Errorf("experiments: campaign did not complete")
+	}
+	return CampaignResult{
+		Elapsed:     res.Elapsed,
+		AggregateBW: res.AggregateBW(),
+		WriterTimes: append([]float64(nil), res.WriterTimes...),
+		TotalBytes:  res.TotalBytes,
+		Adaptive:    res.AdaptiveWrites,
+	}, nil
+}
+
+// firstN returns [0, 1, ..., n).
+func firstN(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// scaleCounts multiplies each ratio by the OST count to produce the writer
+// counts of a weak-scaling sweep.
+func scaleCounts(osts int, ratios []int) []int {
+	out := make([]int, len(ratios))
+	for i, r := range ratios {
+		out[i] = osts * r
+	}
+	return out
+}
+
+// Generator re-exports the workload generator type for drivers.
+type Generator = workloads.Generator

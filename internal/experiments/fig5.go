@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/adios"
+	"repro/internal/pfs"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+	"repro/metrics"
+)
+
+// secondsToDuration converts float seconds to a time.Duration.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// EvalOptions configures the Section IV application evaluations (Figures
+// 5, 6 and 7). The zero value reproduces the paper: process counts 512 to
+// 16384 (doubling), MPI-IO on 160 storage targets (the single-file limit),
+// adaptive IO on 512 targets, at least 5 samples per point, run both under
+// normal conditions and with the artificial interference program.
+type EvalOptions struct {
+	// ProcCounts are the application sizes (paper: 512…16384).
+	ProcCounts []int
+	// Samples per point (paper: "at least five").
+	Samples int
+	// MPIOSTs is the baseline's target count (paper: 160, the Lustre 1.6
+	// single-file maximum).
+	MPIOSTs int
+	// AdaptiveOSTs is the adaptive method's target count (paper: 512,
+	// "chosen to simplify the discussion of ratios"; 672 was also tested
+	// with no penalty).
+	AdaptiveOSTs int
+	// Conditions to run (default: base and interference).
+	Conditions []Condition
+	// Seed differentiates samples.
+	Seed int64
+	// NumOSTs scales the simulated machine (0 = full Jaguar). MPIOSTs and
+	// AdaptiveOSTs are clamped to it.
+	NumOSTs int
+}
+
+func (o *EvalOptions) defaults() {
+	if len(o.ProcCounts) == 0 {
+		o.ProcCounts = []int{512, 1024, 2048, 4096, 8192, 16384}
+	}
+	if o.Samples <= 0 {
+		o.Samples = 5
+	}
+	if o.MPIOSTs <= 0 {
+		o.MPIOSTs = 160
+	}
+	if o.AdaptiveOSTs <= 0 {
+		o.AdaptiveOSTs = 512
+	}
+	if len(o.Conditions) == 0 {
+		o.Conditions = []Condition{Base, Interference}
+	}
+	if o.NumOSTs > 0 {
+		if o.MPIOSTs > o.NumOSTs {
+			o.MPIOSTs = o.NumOSTs
+		}
+		if o.AdaptiveOSTs > o.NumOSTs {
+			o.AdaptiveOSTs = o.NumOSTs
+		}
+	}
+}
+
+// CaseKey identifies one evaluation configuration.
+type CaseKey struct {
+	Method    adios.Method
+	Condition Condition
+	Procs     int
+}
+
+// EvalResult carries one workload's full evaluation: the bandwidth figure
+// (Figure 5 panel or Figure 6) and the per-case elapsed-time samples that
+// Figure 7 reduces to standard deviations.
+type EvalResult struct {
+	Workload string
+	Figure   metrics.Figure
+	// ElapsedSamples[key] are the per-sample total write times (seconds).
+	ElapsedSamples map[CaseKey][]float64
+	// BWSamples[key] are the per-sample aggregate bandwidths (GB/s).
+	BWSamples map[CaseKey][]float64
+	// AdaptiveCounts[key] are redirected-write counts (adaptive cases).
+	AdaptiveCounts map[CaseKey][]int
+}
+
+// EvaluateWorkload runs the paper's MPI-vs-adaptive comparison for one
+// workload generator across process counts, conditions and samples.
+func EvaluateWorkload(gen workloads.Generator, title string, opt EvalOptions) (*EvalResult, error) {
+	opt.defaults()
+	res := &EvalResult{
+		Workload:       gen.Name,
+		Figure:         metrics.Figure{Title: title, YUnit: "GB/s"},
+		ElapsedSamples: map[CaseKey][]float64{},
+		BWSamples:      map[CaseKey][]float64{},
+		AdaptiveCounts: map[CaseKey][]int{},
+	}
+
+	type caseSpec struct {
+		method adios.Method
+		osts   []int
+		cond   Condition
+	}
+	var cases []caseSpec
+	for _, cond := range opt.Conditions {
+		cases = append(cases,
+			caseSpec{adios.MethodMPI, firstN(opt.MPIOSTs), cond},
+			caseSpec{adios.MethodAdaptive, firstN(opt.AdaptiveOSTs), cond},
+		)
+	}
+
+	for _, cs := range cases {
+		series := metrics.Series{Name: fmt.Sprintf("%s-%s", cs.method, cs.cond)}
+		for _, procs := range opt.ProcCounts {
+			key := CaseKey{Method: cs.method, Condition: cs.cond, Procs: procs}
+			var bws []float64
+			for s := 0; s < opt.Samples; s++ {
+				seed := opt.Seed + int64(s)*7907 + int64(procs)*3 + int64(len(cs.method))
+				r, err := RunCampaign(CampaignOptions{
+					Machine:    "jaguar",
+					Writers:    procs,
+					Method:     cs.method,
+					MethodOSTs: cs.osts,
+					Condition:  cs.cond,
+					Seed:       seed,
+					PerRank:    gen.PerRank,
+					NumOSTs:    opt.NumOSTs,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s %s procs=%d sample=%d: %w",
+						cs.method, cs.cond, procs, s, err)
+				}
+				bwGB := r.AggregateBW / pfs.GB
+				bws = append(bws, bwGB)
+				res.ElapsedSamples[key] = append(res.ElapsedSamples[key], r.Elapsed)
+				res.BWSamples[key] = append(res.BWSamples[key], bwGB)
+				res.AdaptiveCounts[key] = append(res.AdaptiveCounts[key], r.Adaptive)
+			}
+			series.Add(fmt.Sprintf("%d", procs), bws)
+		}
+		res.Figure.AddSeries(series)
+	}
+	return res, nil
+}
+
+// Fig5Options configures the Pixie3D evaluation (which sizes to run).
+type Fig5Options struct {
+	Eval  EvalOptions
+	Sizes []workloads.Pixie3DSize
+}
+
+// Fig5Result holds one EvalResult per Pixie3D size class.
+type Fig5Result struct {
+	Panels []*EvalResult
+}
+
+// Fig5 runs the Pixie3D IO-kernel evaluation (paper Figure 5 a/b/c).
+func Fig5(opt Fig5Options) (*Fig5Result, error) {
+	sizes := opt.Sizes
+	if len(sizes) == 0 {
+		sizes = []workloads.Pixie3DSize{
+			workloads.Pixie3DSmall, workloads.Pixie3DLarge, workloads.Pixie3DXL,
+		}
+	}
+	res := &Fig5Result{}
+	panels := map[workloads.Pixie3DSize]string{
+		workloads.Pixie3DSmall: "Figure 5(a): Pixie3D Small Data (2 MB/process)",
+		workloads.Pixie3DLarge: "Figure 5(b): Pixie3D Large Data (128 MB/process)",
+		workloads.Pixie3DXL:    "Figure 5(c): Pixie3D Extra Large Data (1024 MB/process)",
+	}
+	for _, size := range sizes {
+		er, err := EvaluateWorkload(workloads.Pixie3DGen(size), panels[size], opt.Eval)
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, er)
+	}
+	return res, nil
+}
+
+// Fig6 runs the XGC1 evaluation (paper Figure 6).
+func Fig6(opt EvalOptions) (*EvalResult, error) {
+	return EvaluateWorkload(workloads.XGC1Gen(),
+		"Figure 6: XGC1 IO Performance (38 MB/process)", opt)
+}
+
+// Fig7 reduces evaluation results to the paper's Figure 7: the standard
+// deviation of total write time per case, one panel per workload, one
+// series per method+condition, x = process count.
+func Fig7(results []*EvalResult) []metrics.Figure {
+	var out []metrics.Figure
+	panel := 'a'
+	for _, er := range results {
+		fig := metrics.Figure{
+			Title: fmt.Sprintf("Figure 7(%c): Std Deviation of Write Time — %s", panel, er.Workload),
+			YUnit: "seconds (stddev)",
+		}
+		panel++
+		type sk struct {
+			method adios.Method
+			cond   Condition
+		}
+		seriesFor := map[sk]*metrics.Series{}
+		var order []sk
+		// Collect (method, condition) combos and proc counts in stable order.
+		procsSeen := map[int]bool{}
+		var procs []int
+		for key := range er.ElapsedSamples {
+			k := sk{key.Method, key.Condition}
+			if seriesFor[k] == nil {
+				seriesFor[k] = &metrics.Series{Name: fmt.Sprintf("%s-%s", k.method, k.cond)}
+				order = append(order, k)
+			}
+			if !procsSeen[key.Procs] {
+				procsSeen[key.Procs] = true
+				procs = append(procs, key.Procs)
+			}
+		}
+		sortInts(procs)
+		sort.Slice(order, func(i, j int) bool {
+			a := string(order[i].method) + "|" + string(order[i].cond)
+			b := string(order[j].method) + "|" + string(order[j].cond)
+			return a < b
+		})
+		for _, k := range order {
+			s := seriesFor[k]
+			for _, p := range procs {
+				samples := er.ElapsedSamples[CaseKey{Method: k.method, Condition: k.cond, Procs: p}]
+				if len(samples) == 0 {
+					continue
+				}
+				s.AddValue(fmt.Sprintf("%d", p), stats.Summarize(samples).StdDev)
+			}
+			fig.AddSeries(*s)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// SpeedupSummary reports, for each (condition, procs), adaptive's mean
+// bandwidth improvement over MPI-IO — the numbers the paper quotes in
+// prose ("ranging from 2x ... to more than 4.8x").
+func SpeedupSummary(er *EvalResult) metrics.Table {
+	t := metrics.Table{
+		Title:  fmt.Sprintf("Adaptive vs MPI-IO speedup — %s", er.Workload),
+		Header: []string{"Condition", "Procs", "MPI (GB/s)", "Adaptive (GB/s)", "Speedup"},
+	}
+	conds := map[Condition]bool{}
+	procsSeen := map[int]bool{}
+	var procs []int
+	for key := range er.BWSamples {
+		conds[key.Condition] = true
+		if !procsSeen[key.Procs] {
+			procsSeen[key.Procs] = true
+			procs = append(procs, key.Procs)
+		}
+	}
+	sortInts(procs)
+	for _, cond := range []Condition{Base, Interference} {
+		if !conds[cond] {
+			continue
+		}
+		for _, p := range procs {
+			mpi := meanOf(er.BWSamples[CaseKey{adios.MethodMPI, cond, p}])
+			ada := meanOf(er.BWSamples[CaseKey{adios.MethodAdaptive, cond, p}])
+			if mpi == 0 && ada == 0 {
+				continue
+			}
+			t.AddRow(string(cond), fmt.Sprintf("%d", p),
+				fmt.Sprintf("%.2f", mpi), fmt.Sprintf("%.2f", ada),
+				fmt.Sprintf("%.2fx", stats.Speedup(ada, mpi)))
+		}
+	}
+	return t
+}

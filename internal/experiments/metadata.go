@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/cluster"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+	"repro/internal/stats"
+	"repro/metrics"
+)
+
+// MetadataOptions configures the metadata-variability study — the paper's
+// future-work item "other sources of variability, including that of
+// metadata operations like file opens", using the stagger technique carried
+// from the authors' earlier Cray User's Group work.
+type MetadataOptions struct {
+	// Writers is the number of ranks opening files simultaneously.
+	Writers int
+	// Samples per configuration.
+	Samples int
+	// Staggers are the create-spacing values to sweep (0 = burst).
+	Staggers []time.Duration
+	Seed     int64
+}
+
+func (o *MetadataOptions) defaults() {
+	if o.Writers <= 0 {
+		o.Writers = 512
+	}
+	if o.Samples <= 0 {
+		o.Samples = 10
+	}
+	if len(o.Staggers) == 0 {
+		o.Staggers = []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	}
+}
+
+// MetadataResult is the study's outcome: per stagger value, the open-storm
+// completion time (mean and CoV) and the MDS queue peak.
+type MetadataResult struct {
+	Table metrics.Table
+	// StormTimes[stagger] holds the per-sample storm completion times.
+	StormTimes map[time.Duration][]float64
+	// QueuePeaks[stagger] holds the per-sample MDS queue peaks.
+	QueuePeaks map[time.Duration][]int
+}
+
+// MetadataStudy measures a simultaneous file-create storm from N ranks
+// against the metadata server, with and without staggering, under
+// production noise (service-time variation).
+func MetadataStudy(opt MetadataOptions) (*MetadataResult, error) {
+	opt.defaults()
+	res := &MetadataResult{
+		Table: metrics.Table{
+			Title: "Metadata open-storm study (future-work extension)",
+			Header: []string{"Stagger", "Mean storm time (s)", "CoV",
+				"Mean MDS queue peak"},
+		},
+		StormTimes: map[time.Duration][]float64{},
+		QueuePeaks: map[time.Duration][]int{},
+	}
+	for _, stagger := range opt.Staggers {
+		for s := 0; s < opt.Samples; s++ {
+			storm, peak, err := openStorm(opt.Writers, stagger, opt.Seed+int64(s)*211)
+			if err != nil {
+				return nil, err
+			}
+			res.StormTimes[stagger] = append(res.StormTimes[stagger], storm)
+			res.QueuePeaks[stagger] = append(res.QueuePeaks[stagger], peak)
+		}
+		sum := stats.Summarize(res.StormTimes[stagger])
+		var peakSum float64
+		for _, q := range res.QueuePeaks[stagger] {
+			peakSum += float64(q)
+		}
+		res.Table.AddRow(
+			stagger.String(),
+			fmt.Sprintf("%.3f", sum.Mean),
+			fmt.Sprintf("%.0f%%", sum.CoVPercent()),
+			fmt.Sprintf("%.0f", peakSum/float64(len(res.QueuePeaks[stagger]))),
+		)
+	}
+	return res, nil
+}
+
+// openStorm has `writers` ranks create one file each (stagger-spaced) and
+// returns the storm completion time and MDS queue peak.
+func openStorm(writers int, stagger time.Duration, seed int64) (float64, int, error) {
+	c, err := cluster.Preset("jaguar", cluster.Config{Seed: seed, NumOSTs: 64})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Shutdown()
+	fs := c.FileSystem()
+	k := c.Kernel()
+	wg := simkernel.NewWaitGroup(k)
+	wg.Add(writers)
+	var last simkernel.Time
+	for i := 0; i < writers; i++ {
+		i := i
+		k.Spawn("opener", func(p *simkernel.Proc) {
+			defer wg.Done()
+			if stagger > 0 {
+				p.Sleep(time.Duration(i) * stagger)
+			}
+			f, err := fs.Create(p, fmt.Sprintf("storm.%06d", i), pfs.Layout{OSTs: []int{i % 64}})
+			if err != nil {
+				panic(err)
+			}
+			f.Close(p)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run()
+	return last.Seconds(), fs.MDS.Stats.MaxQueue, nil
+}

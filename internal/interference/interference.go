@@ -1,0 +1,311 @@
+// Package interference generates the external load that makes petascale IO
+// performance variable (Section II of the paper): production background
+// noise — other batch jobs and analysis clusters sharing the file system —
+// and the paper's artificial interference program used in the Section IV
+// evaluations (24 processes continuously writing 1 GB chunks, three per
+// storage target across 8 targets).
+package interference
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/rngx"
+	"repro/internal/simkernel"
+)
+
+// NoiseConfig describes the stochastic production background load applied
+// to a file system. It has three components:
+//
+//   - A global busy factor, drawn once per episode, that scales every OST's
+//     service capacity (shared object-storage servers, network, and backend
+//     links make machine-wide slowdowns correlated).
+//   - Per-OST on/off episodes during which a target hosts a number of
+//     external competing streams (other jobs writing, analysis reads).
+//   - Hot-OST episodes: short, severe slowdowns of a few targets (e.g. an
+//     attached analysis cluster reading recent output), producing the
+//     transient imbalance of the paper's Figure 3.
+type NoiseConfig struct {
+	// Enabled turns the noise process on.
+	Enabled bool
+
+	// GlobalCV is the coefficient of variation of the machine-wide busy
+	// factor (lognormal with mean 1, truncated to (0,1] as a slow factor
+	// multiplier on top of per-OST state).
+	GlobalCV float64
+
+	// GlobalMeanEpisode is the mean duration, in seconds, between redraws
+	// of the global busy factor.
+	GlobalMeanEpisode float64
+
+	// PerOSTMeanOn / PerOSTMeanOff are the mean durations, in seconds, of
+	// an OST's busy/idle episodes.
+	PerOSTMeanOn  float64
+	PerOSTMeanOff float64
+
+	// StreamsWhenOn is the mean number of external streams on a busy OST
+	// (Poisson, at least 1 when busy).
+	StreamsWhenOn float64
+
+	// HotMeanEvery is the mean seconds between hot-OST episodes; zero
+	// disables them.
+	HotMeanEvery float64
+	// HotDuration is the mean duration of a hot episode in seconds.
+	HotDuration float64
+	// HotOSTs is how many targets a hot episode strikes.
+	HotOSTs int
+	// HotSlowFactor is the service multiplier applied to hot targets
+	// (e.g. 0.3 = the target runs at 30% speed).
+	HotSlowFactor float64
+
+	// Seed drives the noise processes; derive it per experiment sample.
+	Seed int64
+}
+
+// DefaultProduction returns noise calibrated to reproduce the paper's
+// production-environment variability (Table I: 40–60% bandwidth CoV on
+// Jaguar and Franklin; Figure 3: average imbalance factor around 2 with
+// transients beyond 3).
+func DefaultProduction(seed int64) NoiseConfig {
+	return NoiseConfig{
+		Enabled:           true,
+		GlobalCV:          0.65,
+		GlobalMeanEpisode: 600,
+		PerOSTMeanOn:      120,
+		PerOSTMeanOff:     260,
+		StreamsWhenOn:     2.0,
+		HotMeanEvery:      90,
+		HotDuration:       45,
+		HotOSTs:           24,
+		HotSlowFactor:     0.40,
+		Seed:              seed,
+	}
+}
+
+// Noise is a running production-noise generator.
+type Noise struct {
+	fs  *pfs.FileSystem
+	cfg NoiseConfig
+	rng *rngx.Source
+
+	global  float64   // current machine-wide busy factor (0,1]
+	perOST  []ostMood // per-target state
+	stopped bool
+}
+
+type ostMood struct {
+	busyStreams int
+	hotUntil    simkernel.Time
+	hotFactor   float64
+}
+
+// Start launches the noise processes on the file system's kernel. With
+// Enabled false it returns an inert Noise.
+func Start(fs *pfs.FileSystem, cfg NoiseConfig) *Noise {
+	n := &Noise{
+		fs:     fs,
+		cfg:    cfg,
+		rng:    rngx.NewNamed(cfg.Seed, "interference"),
+		global: 1,
+		perOST: make([]ostMood, len(fs.OSTs)),
+	}
+	if !cfg.Enabled {
+		return n
+	}
+	k := fs.K
+
+	// Global busy factor process.
+	if cfg.GlobalCV > 0 {
+		grng := n.rng.Derive("global")
+		n.global = n.drawGlobal(grng)
+		n.applyAll()
+		k.Spawn("noise-global", func(p *simkernel.Proc) {
+			for !n.stopped {
+				p.SleepSeconds(grng.Exp(maxf(cfg.GlobalMeanEpisode, 1)))
+				n.global = n.drawGlobal(grng)
+				n.applyAll()
+			}
+		})
+	}
+
+	// Per-OST busy episodes: one lightweight process per target.
+	if cfg.PerOSTMeanOn > 0 && cfg.PerOSTMeanOff > 0 {
+		for i := range fs.OSTs {
+			i := i
+			orng := n.rng.Derive(fmt.Sprintf("ost-%d", i))
+			mm := rngx.NewMarkovOnOff(orng, cfg.PerOSTMeanOn, cfg.PerOSTMeanOff)
+			if mm.On() {
+				n.perOST[i].busyStreams = n.drawStreams(orng)
+			}
+			n.apply(i)
+			k.Spawn(fmt.Sprintf("noise-ost%d", i), func(p *simkernel.Proc) {
+				for !n.stopped {
+					p.SleepSeconds(mm.NextTransition())
+					mm.Advance(mm.NextTransition())
+					if mm.On() {
+						n.perOST[i].busyStreams = n.drawStreams(orng)
+					} else {
+						n.perOST[i].busyStreams = 0
+					}
+					n.apply(i)
+				}
+			})
+		}
+	}
+
+	// Hot-OST episodes.
+	if cfg.HotMeanEvery > 0 && cfg.HotOSTs > 0 {
+		hrng := n.rng.Derive("hot")
+		k.Spawn("noise-hot", func(p *simkernel.Proc) {
+			for !n.stopped {
+				p.SleepSeconds(hrng.Exp(cfg.HotMeanEvery))
+				if n.stopped {
+					return
+				}
+				dur := hrng.Exp(maxf(cfg.HotDuration, 1))
+				until := p.Now() + simkernel.FromSeconds(dur)
+				// Strike a contiguous band of targets (analysis reads hit
+				// the stripes of one recent output, which are adjacent).
+				start := hrng.Intn(len(fs.OSTs))
+				for j := 0; j < cfg.HotOSTs; j++ {
+					idx := (start + j) % len(fs.OSTs)
+					n.perOST[idx].hotUntil = until
+					n.perOST[idx].hotFactor = cfg.HotSlowFactor *
+						(0.75 + 0.5*hrng.Float64()) // 0.75x–1.25x severity spread
+					n.apply(idx)
+					idx2 := idx
+					k.At(until, func() { n.apply(idx2) })
+				}
+			}
+		})
+	}
+
+	return n
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (n *Noise) drawGlobal(r *rngx.Source) float64 {
+	// Lognormal busy level with mean 1; values above 1 mean "quieter than
+	// typical", clamped since slowFactor is a pure degradation.
+	v := r.LognormalMeanCV(1, n.cfg.GlobalCV)
+	if v > 1 {
+		v = 1
+	}
+	if v < 0.05 {
+		v = 0.05
+	}
+	return v
+}
+
+func (n *Noise) drawStreams(r *rngx.Source) int {
+	s := r.Poisson(n.cfg.StreamsWhenOn)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// apply pushes OST i's combined noise state into the pfs model: the global
+// busy factor degrades the network/OSS side everywhere (slowing every
+// client stream, cache-absorbed or not), while disk-side slowness combines
+// the global factor with any hot episode on this target.
+func (n *Noise) apply(i int) {
+	m := &n.perOST[i]
+	slow := n.global
+	if n.fs.K.Now() < m.hotUntil && m.hotFactor > 0 {
+		slow *= m.hotFactor
+	}
+	o := n.fs.OST(i)
+	o.SetSlowFactor(slow)
+	o.SetIngestFactor(n.global)
+	o.SetExternalStreams(m.busyStreams)
+}
+
+func (n *Noise) applyAll() {
+	for i := range n.perOST {
+		n.apply(i)
+	}
+}
+
+// Stop halts the noise processes after their next wakeup and restores all
+// targets to clean state.
+func (n *Noise) Stop() {
+	n.stopped = true
+	for i := range n.perOST {
+		n.perOST[i] = ostMood{}
+	}
+	n.global = 1
+	n.applyAll()
+	for i := range n.perOST {
+		n.fs.OST(i).SetIngestFactor(1)
+	}
+}
+
+// GlobalFactor exposes the current machine-wide busy factor (diagnostics).
+func (n *Noise) GlobalFactor() float64 { return n.global }
+
+// ArtificialConfig reproduces the paper's Section IV interference program:
+// "External interference is introduced through a separate program that
+// continuously writes to a file striped across 8 storage targets ... Three
+// processes each write 1 GB continuously to a single storage target, for a
+// total of 24 processes."
+type ArtificialConfig struct {
+	// OSTs are the storage targets to load; default is the first 8.
+	OSTs []int
+	// ProcsPerOST is the number of continuous writers per target (3).
+	ProcsPerOST int
+	// ChunkBytes is each writer's repeated write size (1 GB).
+	ChunkBytes float64
+}
+
+// DefaultArtificial returns the paper's exact configuration against the
+// given file system.
+func DefaultArtificial(fs *pfs.FileSystem) ArtificialConfig {
+	osts := make([]int, 8)
+	for i := range osts {
+		osts[i] = i % len(fs.OSTs)
+	}
+	return ArtificialConfig{OSTs: osts, ProcsPerOST: 3, ChunkBytes: 1 * pfs.GB}
+}
+
+// Artificial is a running artificial-interference workload.
+type Artificial struct {
+	stopped bool
+	Writes  int // completed 1 GB chunk writes (diagnostics)
+}
+
+// StartArtificial launches the interference writers on the file system's
+// kernel. They run until Stop (or kernel shutdown).
+func StartArtificial(fs *pfs.FileSystem, cfg ArtificialConfig) *Artificial {
+	if len(cfg.OSTs) == 0 {
+		cfg = DefaultArtificial(fs)
+	}
+	if cfg.ProcsPerOST <= 0 {
+		cfg.ProcsPerOST = 3
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 1 * pfs.GB
+	}
+	a := &Artificial{}
+	for _, ost := range cfg.OSTs {
+		for j := 0; j < cfg.ProcsPerOST; j++ {
+			ost := ost
+			fs.K.Spawn(fmt.Sprintf("interferer-ost%d-%d", ost, j), func(p *simkernel.Proc) {
+				for !a.stopped {
+					fs.OST(ost).Write(p, cfg.ChunkBytes)
+					a.Writes++
+				}
+			})
+		}
+	}
+	return a
+}
+
+// Stop ends the interference writers after their in-flight writes complete.
+func (a *Artificial) Stop() { a.stopped = true }

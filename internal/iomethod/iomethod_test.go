@@ -1,0 +1,79 @@
+package iomethod
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankDataTotalBytes(t *testing.T) {
+	d := RankData{Vars: []VarSpec{{Bytes: 100}, {Bytes: 250}, {Bytes: 0}}}
+	if d.TotalBytes() != 350 {
+		t.Fatalf("total = %d", d.TotalBytes())
+	}
+	if (RankData{}).TotalBytes() != 0 {
+		t.Fatal("empty total")
+	}
+}
+
+func TestBuildEntriesLayout(t *testing.T) {
+	d := RankData{Vars: []VarSpec{
+		{Name: "a", Bytes: 100, Dims: []uint64{10, 10}, Min: -1, Max: 1},
+		{Name: "b", Bytes: 50, Min: 2, Max: 3},
+	}}
+	entries, total := BuildEntries(7, 1000, d)
+	if total != 150 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Offset != 1000 || entries[0].Length != 100 || entries[0].WriterRank != 7 {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Offset != 1100 || entries[1].Length != 50 {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+	if !reflect.DeepEqual(entries[0].Dims, []uint64{10, 10}) {
+		t.Fatal("dims not carried")
+	}
+	// Dims must be copied, not aliased.
+	d.Vars[0].Dims[0] = 99
+	if entries[0].Dims[0] == 99 {
+		t.Fatal("dims aliased to input")
+	}
+}
+
+func TestBuildEntriesContiguousProperty(t *testing.T) {
+	f := func(sizes []uint16, off uint32) bool {
+		d := RankData{}
+		for i, s := range sizes {
+			d.Vars = append(d.Vars, VarSpec{Name: string(rune('a' + i%26)), Bytes: int64(s)})
+		}
+		entries, total := BuildEntries(0, int64(off), d)
+		if total != d.TotalBytes() {
+			return false
+		}
+		cur := int64(off)
+		for _, e := range entries {
+			if e.Offset != cur {
+				return false
+			}
+			cur += e.Length
+		}
+		return cur == int64(off)+total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepResultAggregateBW(t *testing.T) {
+	r := StepResult{TotalBytes: 1000, Elapsed: 4}
+	if r.AggregateBW() != 250 {
+		t.Fatalf("bw = %v", r.AggregateBW())
+	}
+	if (&StepResult{TotalBytes: 5}).AggregateBW() != 0 {
+		t.Fatal("zero elapsed should yield zero bandwidth")
+	}
+}

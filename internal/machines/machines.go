@@ -1,0 +1,201 @@
+// Package machines provides calibrated presets for the three systems the
+// paper measures: the XT5 partition of Jaguar at ORNL (672-OST Lustre 1.6
+// scratch), Franklin at NERSC (96-OST Lustre), and Sandia's XTP (PanFS with
+// 40 StorageBlades).
+//
+// Calibration notes (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//   - Per-OST disk bandwidth follows the paper's "per storage target
+//     theoretical maximum performance of around 180 MB/sec".
+//   - ClientCap models the single-POSIX-stream ceiling; it is what makes
+//     aggregate bandwidth *rise* from 1 to ~4 writers per OST before
+//     contention turns it around (Figure 1's peak at 2048 writers on 512
+//     OSTs).
+//   - CacheBytes is the *effective* per-OST dirty-buffer budget. The OSS
+//     nodes carry ~2 GB of cache per target, but Linux dirty-page limits
+//     make only a fraction usable for write-back absorption; 96 MB
+//     reproduces the paper's regime boundaries: 1 MB and 2 MB writes stay
+//     cache-absorbed through 32 writers/OST, 8 MB writes hold up into the
+//     16:1 region, and ≥128 MB writes turn disk-bound (and visibly
+//     contended) from 4 writers per OST — the ratio where Figure 1's
+//     aggregate bandwidth peaks.
+//   - DiskEff (Alpha 0.025, Beta 1.05) yields a 16:1→32:1 aggregate decline
+//     of ≈26%, inside the paper's measured 16–28% band for ≥128 MB writers.
+//   - XTP's PanFS shows almost no concurrency degradation in the paper
+//     (<5% from 512→1024 writers), hence the nearly flat efficiency curve.
+package machines
+
+import (
+	"time"
+
+	"repro/internal/interference"
+	"repro/internal/pfs"
+)
+
+// Machine bundles a file-system configuration with the background noise
+// profile of its production environment.
+type Machine struct {
+	// Name identifies the system ("Jaguar", "Franklin", "XTP").
+	Name string
+
+	// FS is the parallel file system configuration.
+	FS pfs.Config
+
+	// Noise is the production background-load profile (disabled for
+	// non-production systems like XTP).
+	Noise interference.NoiseConfig
+
+	// ExperimentOSTs is the number of storage targets the paper's
+	// experiments actually use on this machine (512 of Jaguar's 672).
+	ExperimentOSTs int
+
+	// PeakAggregateBW is the nominal aggregate bandwidth (bytes/sec) the
+	// paper quotes, used for sanity reporting only.
+	PeakAggregateBW float64
+}
+
+// Jaguar returns the ORNL Jaguar XT5 scratch system: 672 OSTs, Lustre 1.6,
+// 10 PB, shared across ORNL machines; experiments use 512 targets.
+func Jaguar(seed int64) Machine {
+	return Machine{
+		Name: "Jaguar",
+		FS: pfs.Config{
+			NumOSTs:            672,
+			DiskBW:             180 * pfs.MB,
+			CacheBytes:         96 * pfs.MB,
+			IngestBW:           400 * pfs.MB,
+			ClientCap:          55 * pfs.MB,
+			DiskEff:            pfs.EffCurve{Alpha: 0.025, Beta: 1.05},
+			NetEff:             pfs.EffCurve{Alpha: 0.004, Beta: 1.1},
+			WriteLatency:       2 * time.Millisecond,
+			MaxStripeCount:     160, // Lustre 1.6 single-file limit
+			DefaultStripeCount: 4,   // the system default the paper cites
+			StripeSize:         4 * 1024 * 1024,
+			MDSCapacity:        16,
+			MDSServiceMean:     0.004,
+			MDSServiceCV:       0.8,
+			Seed:               seed,
+		},
+		Noise:           interference.DefaultProduction(seed + 1),
+		ExperimentOSTs:  512,
+		PeakAggregateBW: 60 * pfs.GB,
+	}
+}
+
+// Franklin returns the NERSC Franklin XT4 scratch system: 96 OSTs, Lustre,
+// 436 TB, also a busy production environment.
+func Franklin(seed int64) Machine {
+	noise := interference.DefaultProduction(seed + 1)
+	// Franklin's smaller OST pool concentrates external load: slightly
+	// longer busy episodes and fewer idle gaps.
+	noise.PerOSTMeanOn = 150
+	noise.PerOSTMeanOff = 210
+	noise.HotOSTs = 8
+	return Machine{
+		Name: "Franklin",
+		FS: pfs.Config{
+			NumOSTs:            96,
+			DiskBW:             160 * pfs.MB,
+			CacheBytes:         80 * pfs.MB,
+			IngestBW:           360 * pfs.MB,
+			ClientCap:          50 * pfs.MB,
+			DiskEff:            pfs.EffCurve{Alpha: 0.028, Beta: 1.05},
+			NetEff:             pfs.EffCurve{Alpha: 0.005, Beta: 1.1},
+			WriteLatency:       2 * time.Millisecond,
+			MaxStripeCount:     96,
+			DefaultStripeCount: 4,
+			StripeSize:         4 * 1024 * 1024,
+			MDSCapacity:        12,
+			MDSServiceMean:     0.005,
+			MDSServiceCV:       0.8,
+			Seed:               seed,
+		},
+		Noise:           noise,
+		ExperimentOSTs:  80, // NERSC's hourly tests use 80 writers
+		PeakAggregateBW: 12 * pfs.GB,
+	}
+}
+
+// XTP returns Sandia's XTP: a 160-node Cray XT5 with a PanFS file system of
+// 40 StorageBlades (61 TB). It is not a production machine: background
+// noise is disabled, and interference experiments launch explicit second
+// workloads instead.
+func XTP(seed int64) Machine {
+	return Machine{
+		Name: "XTP",
+		FS: pfs.Config{
+			NumOSTs:    40,
+			DiskBW:     110 * pfs.MB,
+			CacheBytes: 256 * pfs.MB,
+			IngestBW:   300 * pfs.MB,
+			ClientCap:  45 * pfs.MB,
+			// PanFS parallelism handles concurrency gracefully: the paper
+			// saw <5% degradation scaling 512→1024 writers (12.8→25.6 per
+			// blade).
+			DiskEff:            pfs.EffCurve{Alpha: 0.0015, Beta: 1.0},
+			NetEff:             pfs.EffCurve{Alpha: 0.001, Beta: 1.0},
+			WriteLatency:       2 * time.Millisecond,
+			MaxStripeCount:     40,
+			DefaultStripeCount: 4,
+			StripeSize:         4 * 1024 * 1024,
+			MDSCapacity:        8,
+			MDSServiceMean:     0.004,
+			MDSServiceCV:       0.6,
+			Seed:               seed,
+		},
+		Noise:           interference.NoiseConfig{Enabled: false},
+		ExperimentOSTs:  40,
+		PeakAggregateBW: 4 * pfs.GB,
+	}
+}
+
+// Intrepid returns a BlueGene/P-class system with a GPFS file system — the
+// paper's future work ("perhaps, GPFS on a BlueGene/P machine"). GPFS
+// network shared disks behave differently from Lustre OSTs: wide striping
+// by default, larger effective write-back budgets on the IO-forwarding
+// nodes, and gentler (but present) concurrency degradation. This preset is
+// an extension, not a reproduction target; it lets the adaptive method be
+// exercised against a second file-system personality.
+func Intrepid(seed int64) Machine {
+	return Machine{
+		Name: "Intrepid",
+		FS: pfs.Config{
+			NumOSTs:            128, // NSD servers
+			DiskBW:             250 * pfs.MB,
+			CacheBytes:         512 * pfs.MB, // ION write-behind buffers
+			IngestBW:           500 * pfs.MB,
+			ClientCap:          40 * pfs.MB, // BG/P compute-node link share
+			DiskEff:            pfs.EffCurve{Alpha: 0.010, Beta: 1.0},
+			NetEff:             pfs.EffCurve{Alpha: 0.003, Beta: 1.0},
+			WriteLatency:       3 * time.Millisecond, // IO forwarding hop
+			MaxStripeCount:     128,                  // GPFS stripes wide
+			DefaultStripeCount: 128,
+			StripeSize:         8 * 1024 * 1024,
+			MDSCapacity:        32, // distributed metadata
+			MDSServiceMean:     0.003,
+			MDSServiceCV:       0.5,
+			Seed:               seed,
+		},
+		Noise:           interference.DefaultProduction(seed + 1),
+		ExperimentOSTs:  128,
+		PeakAggregateBW: 30 * pfs.GB,
+	}
+}
+
+// ByName returns the preset for a machine name, or ok=false.
+func ByName(name string, seed int64) (Machine, bool) {
+	switch name {
+	case "Jaguar", "jaguar":
+		return Jaguar(seed), true
+	case "Franklin", "franklin":
+		return Franklin(seed), true
+	case "XTP", "xtp":
+		return XTP(seed), true
+	case "Intrepid", "intrepid":
+		return Intrepid(seed), true
+	}
+	return Machine{}, false
+}
+
+// Names lists the available machine presets.
+func Names() []string { return []string{"Jaguar", "Franklin", "XTP", "Intrepid"} }

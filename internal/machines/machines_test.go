@@ -1,0 +1,104 @@
+package machines
+
+import (
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, ok := ByName(name, 1)
+		if !ok {
+			t.Fatalf("preset %s missing", name)
+		}
+		cfg := m.FS
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", name, err)
+		}
+		if m.ExperimentOSTs <= 0 || m.ExperimentOSTs > cfg.NumOSTs {
+			t.Errorf("%s experiment OSTs %d out of range", name, m.ExperimentOSTs)
+		}
+		if m.PeakAggregateBW <= 0 {
+			t.Errorf("%s missing peak bandwidth", name)
+		}
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	j := Jaguar(1)
+	if j.FS.NumOSTs != 672 {
+		t.Errorf("Jaguar OSTs = %d, want the paper's 672", j.FS.NumOSTs)
+	}
+	if j.FS.MaxStripeCount != 160 {
+		t.Errorf("Jaguar stripe limit = %d, want Lustre 1.6's 160", j.FS.MaxStripeCount)
+	}
+	if j.FS.DiskBW != 180*pfs.MB {
+		t.Errorf("Jaguar per-OST BW = %v, want 180 MB/s", j.FS.DiskBW)
+	}
+	if j.ExperimentOSTs != 512 {
+		t.Errorf("Jaguar experiment OSTs = %d, want 512", j.ExperimentOSTs)
+	}
+	f := Franklin(1)
+	if f.FS.NumOSTs != 96 {
+		t.Errorf("Franklin OSTs = %d, want 96", f.FS.NumOSTs)
+	}
+	x := XTP(1)
+	if x.FS.NumOSTs != 40 {
+		t.Errorf("XTP blades = %d, want 40", x.FS.NumOSTs)
+	}
+	if x.Noise.Enabled {
+		t.Error("XTP is not a production machine; noise must default off")
+	}
+}
+
+func TestXTPConcurrencyToleranceVsJaguar(t *testing.T) {
+	// The paper: XTP/PanFS showed <5% degradation scaling 512→1024 writers
+	// (13→26 per blade), while Jaguar's Lustre drops hard past 4 per OST.
+	j, x := Jaguar(1), XTP(1)
+	jDrop := j.FS.DiskEff.Eval(26) / j.FS.DiskEff.Eval(13)
+	xDrop := x.FS.DiskEff.Eval(26) / x.FS.DiskEff.Eval(13)
+	if xDrop < 0.95 {
+		t.Errorf("XTP 13→26 writers efficiency ratio %.3f, want ≥0.95 (paper: <5%% loss)", xDrop)
+	}
+	if jDrop > xDrop {
+		t.Errorf("Jaguar (%.3f) should degrade more than XTP (%.3f)", jDrop, xDrop)
+	}
+}
+
+func TestJaguarDeclineBand(t *testing.T) {
+	// The 16:1→32:1 aggregate decline for disk-bound writers should fall
+	// in the paper's 16–28% band (by construction of the efficiency curve).
+	j := Jaguar(1)
+	drop := 1 - j.FS.DiskEff.Eval(32)/j.FS.DiskEff.Eval(16)
+	if drop < 0.16 || drop > 0.28 {
+		t.Errorf("Jaguar 16:1→32:1 efficiency decline %.1f%%, want 16–28%%", 100*drop)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("earth-simulator", 1); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestSeedPropagation(t *testing.T) {
+	a := Jaguar(5)
+	b := Jaguar(6)
+	if a.FS.Seed == b.FS.Seed {
+		t.Fatal("seeds not propagated")
+	}
+	if a.Noise.Seed == b.Noise.Seed {
+		t.Fatal("noise seeds not propagated")
+	}
+}
+
+func TestIntrepidExtension(t *testing.T) {
+	i := Intrepid(1)
+	if i.FS.DefaultStripeCount != i.FS.MaxStripeCount {
+		t.Error("GPFS preset should stripe wide by default")
+	}
+	if i.FS.MDSCapacity <= Jaguar(1).FS.MDSCapacity {
+		t.Error("GPFS distributed metadata should out-provision the Lustre MDS")
+	}
+}

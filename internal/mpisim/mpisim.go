@@ -1,0 +1,292 @@
+// Package mpisim provides an MPI-like process and message-passing substrate
+// on top of the simulation kernel: a world of ranks, tagged point-to-point
+// messages with source/tag matching, barriers, and small collectives.
+//
+// The paper's adaptive IO method (Section III) is a set of message-driven
+// roles — writers, sub-coordinators, one coordinator — layered onto the
+// application's existing MPI ranks; this package supplies exactly the
+// communication semantics those algorithms assume: reliable, ordered
+// delivery per (source, tag) pair, and blocking receives with wildcards.
+package mpisim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simkernel"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Message is a delivered point-to-point message.
+type Message struct {
+	From int
+	Tag  int
+	Data any
+}
+
+// Options configures a world.
+type Options struct {
+	// Latency is the one-way delivery delay for a control message
+	// (default 5µs — interconnect-scale, negligible against IO times but
+	// enough to keep causality realistic).
+	Latency time.Duration
+}
+
+// World is a communicator: a fixed-size set of ranks sharing a kernel.
+type World struct {
+	k       *simkernel.Kernel
+	size    int
+	latency simkernel.Time
+	ranks   []*Rank
+
+	barrierGen     int
+	barrierArrived int
+	barrierWaiters []*simkernel.Proc
+
+	// Stats
+	MessagesSent int
+}
+
+// NewWorld creates a world with the given number of ranks on kernel k.
+func NewWorld(k *simkernel.Kernel, size int, opt Options) *World {
+	if size <= 0 {
+		panic("mpisim: world size must be positive")
+	}
+	lat := opt.Latency
+	if lat == 0 {
+		lat = 5 * time.Microsecond
+	}
+	w := &World{k: k, size: size, latency: simkernel.Time(lat)}
+	w.ranks = make([]*Rank, size)
+	for i := range w.ranks {
+		w.ranks[i] = &Rank{w: w, rank: i}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Kernel returns the underlying simulation kernel.
+func (w *World) Kernel() *simkernel.Kernel { return w.k }
+
+// Launch spawns one simulation process per rank running fn. It returns a
+// WaitGroup that reaches zero when every rank's fn has returned; run the
+// kernel to drive them.
+func (w *World) Launch(name string, fn func(r *Rank)) *simkernel.WaitGroup {
+	wg := simkernel.NewWaitGroup(w.k)
+	wg.Add(w.size)
+	for i := 0; i < w.size; i++ {
+		r := w.ranks[i]
+		w.k.Spawn(fmt.Sprintf("%s[%d]", name, i), func(p *simkernel.Proc) {
+			defer wg.Done()
+			r.p = p
+			fn(r)
+		})
+	}
+	return wg
+}
+
+// recvWaiter is a rank blocked in Recv with a match pattern.
+type recvWaiter struct {
+	from, tag int
+	delivered *Message // filled in by a matching Send before wakeup
+	proc      *simkernel.Proc
+	wake      func()
+}
+
+func matches(wantFrom, wantTag int, m Message) bool {
+	return (wantFrom == AnySource || wantFrom == m.From) &&
+		(wantTag == AnyTag || wantTag == m.Tag)
+}
+
+// Rank is one process in a world.
+type Rank struct {
+	w    *World
+	rank int
+	p    *simkernel.Proc
+
+	queue   []Message
+	waiters []*recvWaiter
+}
+
+// Rank returns this rank's index.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// World returns the enclosing world.
+func (r *Rank) World() *World { return r.w }
+
+// Proc returns the simulation process backing this rank (nil before
+// Launch's fn begins).
+func (r *Rank) Proc() *simkernel.Proc { return r.p }
+
+// Send delivers data to rank `to` with the given tag after the world's
+// latency. Send never blocks (buffered/eager semantics — the algorithm
+// messages in this codebase are all small control messages and indices).
+func (r *Rank) Send(to, tag int, data any) {
+	if to < 0 || to >= r.w.size {
+		panic(fmt.Sprintf("mpisim: Send to invalid rank %d (size %d)", to, r.w.size))
+	}
+	r.w.MessagesSent++
+	msg := Message{From: r.rank, Tag: tag, Data: data}
+	dst := r.w.ranks[to]
+	r.w.k.At(r.w.k.Now()+r.w.latency, func() { dst.deliver(msg) })
+}
+
+// deliver runs in kernel context: hand the message to the oldest matching
+// waiter, or queue it.
+func (dst *Rank) deliver(m Message) {
+	for i, w := range dst.waiters {
+		if w.delivered == nil && matches(w.from, w.tag, m) {
+			w.delivered = &m
+			dst.waiters = append(dst.waiters[:i], dst.waiters[i+1:]...)
+			w.wake()
+			return
+		}
+	}
+	dst.queue = append(dst.queue, m)
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns it.
+// Use AnySource / AnyTag as wildcards. Messages from the same source with
+// the same tag are received in send order.
+func (r *Rank) Recv(from, tag int) Message {
+	return r.RecvAs(r.p, from, tag)
+}
+
+// RecvAs is Recv for an explicit simulation process. A rank may carry
+// auxiliary roles (the adaptive method's sub-coordinator and coordinator
+// loops) running as helper processes on the same kernel; each role receives
+// on the rank's mailbox with its own tag space. Concurrent receivers must
+// use disjoint tag patterns, or one role will steal another's messages.
+func (r *Rank) RecvAs(p *simkernel.Proc, from, tag int) Message {
+	for i, m := range r.queue {
+		if matches(from, tag, m) {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return m
+		}
+	}
+	w := &recvWaiter{from: from, tag: tag, proc: p, wake: p.Waker()}
+	r.waiters = append(r.waiters, w)
+	p.Suspend()
+	if w.delivered == nil {
+		panic("mpisim: Recv woke without a message")
+	}
+	return *w.delivered
+}
+
+// SendFrom delivers a message that reports rank `asFrom` as its sender —
+// used by helper-role processes that logically act as their host rank.
+func (r *Rank) SendFrom(asFrom, to, tag int, data any) {
+	if to < 0 || to >= r.w.size {
+		panic(fmt.Sprintf("mpisim: Send to invalid rank %d (size %d)", to, r.w.size))
+	}
+	r.w.MessagesSent++
+	msg := Message{From: asFrom, Tag: tag, Data: data}
+	dst := r.w.ranks[to]
+	r.w.k.At(r.w.k.Now()+r.w.latency, func() { dst.deliver(msg) })
+}
+
+// TryRecv returns a matching queued message without blocking.
+func (r *Rank) TryRecv(from, tag int) (Message, bool) {
+	for i, m := range r.queue {
+		if matches(from, tag, m) {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Pending reports the number of queued undelivered messages at this rank.
+func (r *Rank) Pending() int { return len(r.queue) }
+
+// Barrier blocks until all ranks of the world have entered it. The release
+// costs one latency plus log2(size) fan-out hops, approximating a tree
+// barrier.
+func (r *Rank) Barrier() {
+	w := r.w
+	w.barrierArrived++
+	if w.barrierArrived < w.size {
+		w.barrierWaiters = append(w.barrierWaiters, r.p)
+		r.p.Suspend()
+		return
+	}
+	// Last arrival releases everyone.
+	w.barrierArrived = 0
+	w.barrierGen++
+	hops := 1
+	for n := 1; n < w.size; n *= 2 {
+		hops++
+	}
+	delay := w.latency * simkernel.Time(hops)
+	waiters := w.barrierWaiters
+	w.barrierWaiters = nil
+	for _, p := range waiters {
+		p := p
+		wake := p.Waker()
+		w.k.At(w.k.Now()+delay, func() { wake() })
+	}
+	r.p.Sleep(time.Duration(delay))
+}
+
+// Internal tags used by collectives; user code should use non-negative tags
+// below 1<<20.
+const (
+	tagGather = 1<<20 + iota
+	tagBcast
+	tagReduce
+)
+
+// Gather collects each rank's contribution at root, returned in rank order
+// (nil at non-roots).
+func (r *Rank) Gather(root int, data any) []any {
+	if r.rank != root {
+		r.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([]any, r.w.size)
+	out[root] = data
+	for i := 0; i < r.w.size-1; i++ {
+		m := r.Recv(AnySource, tagGather)
+		out[m.From] = m.Data
+	}
+	return out
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (r *Rank) Bcast(root int, data any) any {
+	if r.rank == root {
+		for i := 0; i < r.w.size; i++ {
+			if i != root {
+				r.Send(i, tagBcast, data)
+			}
+		}
+		return data
+	}
+	m := r.Recv(root, tagBcast)
+	return m.Data
+}
+
+// ReduceFloat64 combines each rank's value at root with op (e.g. max, sum);
+// non-roots return 0.
+func (r *Rank) ReduceFloat64(root int, v float64, op func(a, b float64) float64) float64 {
+	if r.rank != root {
+		r.Send(root, tagReduce, v)
+		return 0
+	}
+	acc := v
+	for i := 0; i < r.w.size-1; i++ {
+		m := r.Recv(AnySource, tagReduce)
+		acc = op(acc, m.Data.(float64))
+	}
+	return acc
+}

@@ -1,0 +1,90 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simkernel"
+)
+
+// BenchmarkOSTFluidUpdates measures the fluid model's cost under heavy
+// concurrent membership churn: many flows joining and completing on one
+// target.
+func BenchmarkOSTFluidUpdates(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := flatConfig()
+		cfg.ClientCap = 400
+		k := simkernel.New()
+		fs := MustNew(k, cfg)
+		for j := 0; j < 64; j++ {
+			j := j
+			k.SpawnAt(simkernel.Time(j), "w", func(p *simkernel.Proc) {
+				fs.OST(0).Write(p, float64(100+j))
+			})
+		}
+		k.Run()
+		k.Shutdown()
+	}
+}
+
+// BenchmarkStripedWrite measures chunked writes across a striped file.
+func BenchmarkStripedWrite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := simkernel.New()
+		cfg := flatConfig()
+		cfg.NumOSTs = 16
+		cfg.MaxChunksPerOp = 16
+		fs := MustNew(k, cfg)
+		k.Spawn("w", func(p *simkernel.Proc) {
+			f, err := fs.Create(p, "bench", Layout{StripeCount: 8, StripeSize: 1 << 16})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			f.WriteAt(p, 0, 1<<22)
+			f.Flush(p)
+			f.Close(p)
+		})
+		k.Run()
+		k.Shutdown()
+	}
+}
+
+// BenchmarkManyOSTConstruction measures file-system setup cost at Jaguar
+// scale (672 targets), which every experiment sample pays.
+func BenchmarkManyOSTConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := simkernel.New()
+		fs := MustNew(k, Config{NumOSTs: 672, Seed: int64(i)})
+		if len(fs.OSTs) != 672 {
+			b.Fatal("bad fs")
+		}
+		k.Shutdown()
+	}
+}
+
+var sinkName string
+
+// BenchmarkFileCreate measures metadata create throughput.
+func BenchmarkFileCreate(b *testing.B) {
+	k := simkernel.New()
+	fs := MustNew(k, flatConfig())
+	b.ResetTimer()
+	count := 0
+	k.Spawn("creator", func(p *simkernel.Proc) {
+		for count < b.N {
+			name := fmt.Sprintf("f%d", count)
+			if _, err := fs.Create(p, name, Layout{OSTs: []int{0}}); err != nil {
+				b.Error(err)
+				return
+			}
+			sinkName = name
+			count++
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}

@@ -1,0 +1,344 @@
+package pfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rngx"
+	"repro/internal/simkernel"
+)
+
+// Layout describes how a file is striped across OSTs.
+type Layout struct {
+	// OSTs explicitly lists the storage targets (by index) the file stripes
+	// over, in round-robin order. When nil, the file system allocates
+	// StripeCount consecutive targets round-robin (Lustre-style).
+	OSTs []int
+
+	// StripeCount is used when OSTs is nil; zero means the configured
+	// default stripe count.
+	StripeCount int
+
+	// StripeSize in bytes; zero means the configured default.
+	StripeSize int64
+}
+
+// File is an open file handle. A File is not safe for use outside the
+// owning kernel's handoff discipline.
+type File struct {
+	fs      *FileSystem
+	Name    string
+	osts    []int
+	stripe  int64
+	size    int64
+	touched map[int]struct{}
+	closed  bool
+}
+
+// FileSystem is a simulated parallel file system instance.
+type FileSystem struct {
+	K    *simkernel.Kernel
+	Cfg  Config
+	OSTs []*OST
+	MDS  *MDS
+
+	rng     *rngx.Source
+	files   map[string]*File
+	nextOST int
+}
+
+// New constructs a file system on kernel k. cfg is validated and defaulted.
+func New(k *simkernel.Kernel, cfg Config) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rngx.NewNamed(cfg.Seed, "pfs")
+	fs := &FileSystem{
+		K:     k,
+		Cfg:   cfg,
+		rng:   rng,
+		files: make(map[string]*File),
+	}
+	fs.OSTs = make([]*OST, cfg.NumOSTs)
+	for i := range fs.OSTs {
+		fs.OSTs[i] = newOST(k, &fs.Cfg, i)
+	}
+	fs.MDS = newMDS(k, &fs.Cfg, rng.Derive("mds"))
+	return fs, nil
+}
+
+// MustNew is New for tests and examples where the config is known-good.
+func MustNew(k *simkernel.Kernel, cfg Config) *FileSystem {
+	fs, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// OST returns the storage target with index i.
+func (fs *FileSystem) OST(i int) *OST { return fs.OSTs[i] }
+
+// resolveLayout turns a Layout into a concrete OST list and stripe size.
+func (fs *FileSystem) resolveLayout(l Layout) ([]int, int64, error) {
+	stripeSize := l.StripeSize
+	if stripeSize <= 0 {
+		stripeSize = fs.Cfg.StripeSize
+	}
+	if len(l.OSTs) > 0 {
+		if len(l.OSTs) > fs.Cfg.MaxStripeCount {
+			return nil, 0, fmt.Errorf("pfs: stripe count %d exceeds file system limit %d",
+				len(l.OSTs), fs.Cfg.MaxStripeCount)
+		}
+		osts := append([]int(nil), l.OSTs...)
+		for _, i := range osts {
+			if i < 0 || i >= len(fs.OSTs) {
+				return nil, 0, fmt.Errorf("pfs: OST index %d out of range [0,%d)", i, len(fs.OSTs))
+			}
+		}
+		return osts, stripeSize, nil
+	}
+	count := l.StripeCount
+	if count <= 0 {
+		count = fs.Cfg.DefaultStripeCount
+	}
+	if count > fs.Cfg.MaxStripeCount {
+		return nil, 0, fmt.Errorf("pfs: stripe count %d exceeds file system limit %d",
+			count, fs.Cfg.MaxStripeCount)
+	}
+	if count > len(fs.OSTs) {
+		return nil, 0, fmt.Errorf("pfs: stripe count %d exceeds OST count %d", count, len(fs.OSTs))
+	}
+	osts := make([]int, count)
+	for i := 0; i < count; i++ {
+		osts[i] = (fs.nextOST + i) % len(fs.OSTs)
+	}
+	fs.nextOST = (fs.nextOST + count) % len(fs.OSTs)
+	return osts, stripeSize, nil
+}
+
+// Create performs a metadata create (queueing at the MDS) and returns a
+// handle. Creating an existing name truncates it, like O_TRUNC.
+func (fs *FileSystem) Create(p *simkernel.Proc, name string, layout Layout) (*File, error) {
+	osts, stripeSize, err := fs.resolveLayout(layout)
+	if err != nil {
+		return nil, err
+	}
+	fs.MDS.Op(p)
+	f := &File{
+		fs:      fs,
+		Name:    name,
+		osts:    osts,
+		stripe:  stripeSize,
+		touched: make(map[int]struct{}),
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open performs a metadata open of an existing file.
+func (fs *FileSystem) Open(p *simkernel.Proc, name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		fs.MDS.Op(p) // failed lookups still cost the MDS
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	fs.MDS.Op(p)
+	h := *f
+	h.closed = false
+	return &h, nil
+}
+
+// Exists reports whether a file name is known (no simulated cost).
+func (fs *FileSystem) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Size returns the current size of the file.
+func (f *File) Size() int64 { return f.size }
+
+// StripeOSTs returns the OST indices the file stripes over.
+func (f *File) StripeOSTs() []int { return append([]int(nil), f.osts...) }
+
+// StripeSize returns the file's stripe width in bytes.
+func (f *File) StripeSize() int64 { return f.stripe }
+
+// ostForStripe maps a stripe index to the owning OST index.
+func (f *File) ostForStripe(stripeIdx int64) int {
+	return f.osts[int(stripeIdx%int64(len(f.osts)))]
+}
+
+// chunk is one contiguous piece of a write destined for a single OST.
+type chunk struct {
+	ost   int
+	bytes int64
+}
+
+// chunksFor decomposes a [offset, offset+length) write into per-stripe
+// chunks, merging consecutive chunks on the same OST, then coarsening to at
+// most MaxChunksPerOp pieces (the coarsening keeps per-OST byte totals
+// approximately proportional; it exists to bound event counts on terabyte
+// writes and is bypassed for single-OST files).
+func (f *File) chunksFor(offset, length int64) []chunk {
+	if length <= 0 {
+		return nil
+	}
+	if len(f.osts) == 1 {
+		return []chunk{{ost: f.osts[0], bytes: length}}
+	}
+	var out []chunk
+	pos := offset
+	end := offset + length
+	for pos < end {
+		sIdx := pos / f.stripe
+		sEnd := (sIdx + 1) * f.stripe
+		if sEnd > end {
+			sEnd = end
+		}
+		o := f.ostForStripe(sIdx)
+		n := sEnd - pos
+		if len(out) > 0 && out[len(out)-1].ost == o {
+			out[len(out)-1].bytes += n
+		} else {
+			out = append(out, chunk{ost: o, bytes: n})
+		}
+		pos = sEnd
+	}
+	max := f.fs.Cfg.MaxChunksPerOp
+	if max > 0 && len(out) > max {
+		out = coarsen(out, max)
+	}
+	return out
+}
+
+// coarsen merges neighbouring chunks until at most max remain, assigning
+// each merged chunk to the OST that contributed the most bytes.
+func coarsen(in []chunk, max int) []chunk {
+	groups := max
+	out := make([]chunk, 0, groups)
+	per := int(math.Ceil(float64(len(in)) / float64(groups)))
+	for i := 0; i < len(in); i += per {
+		j := i + per
+		if j > len(in) {
+			j = len(in)
+		}
+		byOST := map[int]int64{}
+		var total int64
+		for _, c := range in[i:j] {
+			byOST[c.ost] += c.bytes
+			total += c.bytes
+		}
+		best, bestBytes := in[i].ost, int64(-1)
+		// Deterministic winner: iterate sorted keys.
+		keys := make([]int, 0, len(byOST))
+		for k := range byOST {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			if byOST[k] > bestBytes {
+				best, bestBytes = k, byOST[k]
+			}
+		}
+		out = append(out, chunk{ost: best, bytes: total})
+	}
+	return out
+}
+
+// WriteAt writes length bytes at offset, blocking the calling process until
+// every byte has been accepted by the storage targets. Chunks are issued
+// sequentially, modelling a single POSIX/MPI-IO client stream working
+// through its file region.
+func (f *File) WriteAt(p *simkernel.Proc, offset, length int64) {
+	if f.closed {
+		panic(fmt.Sprintf("pfs: write to closed file %q", f.Name))
+	}
+	if length < 0 {
+		panic("pfs: negative write length")
+	}
+	for _, c := range f.chunksFor(offset, length) {
+		f.touched[c.ost] = struct{}{}
+		f.fs.OSTs[c.ost].Write(p, float64(c.bytes))
+	}
+	if end := offset + length; end > f.size {
+		f.size = end
+	}
+	if master := f.fs.files[f.Name]; master != nil && f.size > master.size {
+		master.size = f.size
+	}
+}
+
+// Append writes length bytes at the file's current end (single-writer
+// convenience; concurrent appenders should coordinate offsets themselves as
+// the adaptive method does).
+func (f *File) Append(p *simkernel.Proc, length int64) int64 {
+	off := f.size
+	f.WriteAt(p, off, length)
+	return off
+}
+
+// Flush blocks until all bytes this handle has written are on disk. Targets
+// are waited on sequentially; draining proceeds in parallel across OSTs, so
+// the total wait is governed by the slowest target.
+func (f *File) Flush(p *simkernel.Proc) {
+	osts := make([]int, 0, len(f.touched))
+	for o := range f.touched {
+		osts = append(osts, o)
+	}
+	sort.Ints(osts)
+	for _, o := range osts {
+		f.fs.OSTs[o].Flush(p)
+	}
+}
+
+// Close flushes nothing (callers flush explicitly, as the paper's
+// methodology does) and performs the metadata close.
+func (f *File) Close(p *simkernel.Proc) {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.fs.MDS.Op(p)
+}
+
+// ReadAt models reading length bytes at offset. Reads bypass the write
+// cache and share disk bandwidth with ongoing writes; the model is coarse
+// (rate fixed at issue time per chunk) since the paper's experiments are
+// write-dominated.
+func (f *File) ReadAt(p *simkernel.Proc, offset, length int64) {
+	if length <= 0 {
+		return
+	}
+	for _, c := range f.chunksFor(offset, length) {
+		o := f.fs.OSTs[c.ost]
+		streams := o.ActiveFlows() + o.ExternalStreams() + 1
+		rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() / float64(streams)
+		if cap := f.fs.Cfg.ClientCap; rate > cap {
+			rate = cap
+		}
+		p.Sleep(f.fs.Cfg.WriteLatency)
+		p.SleepSeconds(float64(c.bytes) / rate)
+	}
+}
+
+// TotalBytesDrained sums drained bytes across all OSTs (diagnostics).
+func (fs *FileSystem) TotalBytesDrained() float64 {
+	var t float64
+	for _, o := range fs.OSTs {
+		o.advance()
+		t += o.drainedTotal
+	}
+	return t
+}
+
+// TotalBytesIngested sums accepted bytes across all OSTs (diagnostics).
+func (fs *FileSystem) TotalBytesIngested() float64 {
+	var t float64
+	for _, o := range fs.OSTs {
+		o.advance()
+		t += o.ingestedTotal
+	}
+	return t
+}

@@ -1,0 +1,54 @@
+package pfs
+
+import (
+	"repro/internal/rngx"
+	"repro/internal/simkernel"
+)
+
+// MDSStats aggregates metadata-server counters.
+type MDSStats struct {
+	OpsServed    int
+	MaxQueue     int
+	TotalService float64 // seconds of service time dispensed
+}
+
+// MDS models the metadata server: a bounded-concurrency FIFO service point
+// with lognormal service times. Section II of the paper notes that metadata
+// scalability is a separate, known problem (LWFS, partial serialization);
+// here it matters because file open/create storms from tens of thousands of
+// writers queue behind it, which the stagger-open technique mitigates.
+type MDS struct {
+	k     *simkernel.Kernel
+	res   *simkernel.Resource
+	src   *rngx.Source
+	mean  float64
+	cv    float64
+	Stats MDSStats
+}
+
+func newMDS(k *simkernel.Kernel, cfg *Config, src *rngx.Source) *MDS {
+	return &MDS{
+		k:    k,
+		res:  simkernel.NewResource(k, cfg.MDSCapacity),
+		src:  src,
+		mean: cfg.MDSServiceMean,
+		cv:   cfg.MDSServiceCV,
+	}
+}
+
+// Op performs one metadata operation (open, create, stat, close) on behalf
+// of process p, blocking for queueing plus service time.
+func (m *MDS) Op(p *simkernel.Proc) {
+	m.res.Acquire(p)
+	svc := m.src.LognormalMeanCV(m.mean, m.cv)
+	m.Stats.OpsServed++
+	m.Stats.TotalService += svc
+	if q := m.res.QueueLen(); q > m.Stats.MaxQueue {
+		m.Stats.MaxQueue = q
+	}
+	p.SleepSeconds(svc)
+	m.res.Release()
+}
+
+// QueueLen reports the current number of queued metadata requests.
+func (m *MDS) QueueLen() int { return m.res.QueueLen() }

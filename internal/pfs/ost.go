@@ -1,0 +1,455 @@
+package pfs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simkernel"
+)
+
+// completionEps is the byte threshold below which a flow's residue is
+// considered complete; it absorbs floating-point drift from piecewise-
+// constant rate integration.
+const completionEps = 1e-3
+
+// flow is one in-progress write stream on an OST.
+type flow struct {
+	remaining float64 // bytes left to ingest
+	rate      float64 // current ingest rate, bytes/sec
+	cap       float64 // per-stream cap for this flow
+	done      func()  // invoked (in kernel context) at completion
+}
+
+// flushWaiter waits until the OST's cumulative drained byte count reaches a
+// watermark (FIFO cache drain means every byte ingested before the flush
+// call is on disk by then).
+type flushWaiter struct {
+	watermark float64
+	wake      func()
+}
+
+// OSTStats aggregates per-target counters for experiment analysis.
+type OSTStats struct {
+	BytesIngested  float64
+	BytesDrained   float64
+	WritesStarted  int
+	WritesFinished int
+	MaxConcurrency int
+}
+
+// OST models one object storage target as a fluid-flow server with a
+// write-back cache. All methods must be called in kernel or process context
+// of the owning kernel.
+type OST struct {
+	ID int
+
+	k   *simkernel.Kernel
+	cfg *Config
+
+	flows   []*flow
+	waiters []flushWaiter
+
+	// External interference knobs (driven by the interference package).
+	extStreams   int     // competing external write streams on this target
+	slowFactor   float64 // disk-side degradation multiplier in (0,1]
+	ingestFactor float64 // network/OSS-side degradation multiplier in (0,1]
+
+	// Fluid state, valid as of lastUpdate.
+	cacheLevel    float64 // dirty bytes in cache
+	ingestedTotal float64 // cumulative bytes accepted
+	drainedTotal  float64 // cumulative bytes written to disk
+	drainRate     float64 // current drain bytes/sec (for our data)
+	effCache      float64 // cache capacity available to us (shrinks under external load)
+	lastUpdate    simkernel.Time
+
+	boundary *simkernel.Timer
+
+	Stats OSTStats
+}
+
+func newOST(k *simkernel.Kernel, cfg *Config, id int) *OST {
+	return &OST{ID: id, k: k, cfg: cfg, slowFactor: 1, ingestFactor: 1,
+		effCache: cfg.CacheBytes, lastUpdate: k.Now()}
+}
+
+// ExternalStreams returns the current external competing stream count.
+func (o *OST) ExternalStreams() int { return o.extStreams }
+
+// SlowFactor returns the current disk-side degradation multiplier.
+func (o *OST) SlowFactor() float64 { return o.slowFactor }
+
+// IngestFactor returns the current network-side degradation multiplier.
+func (o *OST) IngestFactor() float64 { return o.ingestFactor }
+
+// SetIngestFactor changes the network/OSS-side degradation multiplier
+// (clamped to (0, 1]): machine-wide backend load slows every client stream,
+// including cache-absorbed writes that never touch the disk.
+func (o *OST) SetIngestFactor(f float64) {
+	if f <= 0 {
+		f = 1e-3
+	}
+	if f > 1 {
+		f = 1
+	}
+	if f == o.ingestFactor {
+		return
+	}
+	o.advance()
+	o.ingestFactor = f
+	o.recompute()
+}
+
+// CacheLevel returns the current dirty-byte count (advancing fluid state to
+// the present first).
+func (o *OST) CacheLevel() float64 {
+	o.advance()
+	return o.cacheLevel
+}
+
+// ActiveFlows returns the number of in-progress internal write streams.
+func (o *OST) ActiveFlows() int { return len(o.flows) }
+
+// SetExternalStreams changes the number of competing external streams and
+// re-plans all in-progress flows.
+func (o *OST) SetExternalStreams(m int) {
+	if m < 0 {
+		m = 0
+	}
+	if m == o.extStreams {
+		return
+	}
+	o.advance()
+	o.extStreams = m
+	o.recompute()
+}
+
+// SetSlowFactor changes the transient degradation multiplier (clamped to
+// (0, 1]) and re-plans all in-progress flows.
+func (o *OST) SetSlowFactor(s float64) {
+	if s <= 0 {
+		s = 1e-3
+	}
+	if s > 1 {
+		s = 1
+	}
+	if s == o.slowFactor {
+		return
+	}
+	o.advance()
+	o.slowFactor = s
+	o.recompute()
+}
+
+// StartWrite begins ingesting bytes on this OST with the given per-stream
+// cap (<=0 means the configured ClientCap) and calls done in kernel context
+// when the final byte is accepted. It returns immediately; use Write for the
+// blocking client-side call.
+func (o *OST) StartWrite(bytes float64, streamCap float64, done func()) {
+	if bytes < 0 {
+		panic("pfs: negative write size")
+	}
+	if streamCap <= 0 {
+		streamCap = o.cfg.ClientCap
+	}
+	o.advance()
+	f := &flow{remaining: bytes, cap: streamCap, done: done}
+	o.flows = append(o.flows, f)
+	o.Stats.WritesStarted++
+	if len(o.flows) > o.Stats.MaxConcurrency {
+		o.Stats.MaxConcurrency = len(o.flows)
+	}
+	o.recompute()
+}
+
+// Write blocks the calling process until bytes have been accepted by the
+// OST (cache or disk). It includes the fixed per-operation latency.
+func (o *OST) Write(p *simkernel.Proc, bytes float64) {
+	if o.cfg.WriteLatency > 0 {
+		p.Sleep(o.cfg.WriteLatency)
+	}
+	if bytes <= 0 {
+		return
+	}
+	wake := p.Waker()
+	o.StartWrite(bytes, 0, wake)
+	p.Suspend()
+}
+
+// Flush blocks the calling process until every byte ingested by this OST
+// before the call has been drained to disk (the explicit flush the paper
+// inserts before close).
+func (o *OST) Flush(p *simkernel.Proc) {
+	o.advance()
+	if o.cacheLevel <= completionEps {
+		return
+	}
+	wake := p.Waker()
+	o.waiters = append(o.waiters, flushWaiter{watermark: o.ingestedTotal, wake: wake})
+	o.recompute()
+	p.Suspend()
+}
+
+// effDisk evaluates the disk-efficiency curve for the current stream mix.
+func (o *OST) effDisk(streams int) float64 { return o.cfg.DiskEff.Eval(streams) }
+
+// effNet evaluates the network-efficiency curve for the current stream mix.
+func (o *OST) effNet(streams int) float64 { return o.cfg.NetEff.Eval(streams) }
+
+// plan computes, from current membership, the per-flow ingest rates and the
+// drain rate. It returns (sumInflow, drain).
+func (o *OST) plan() (sumInflow, drain float64) {
+	n := len(o.flows)
+	m := o.extStreams
+	streams := n + m
+	if streams < 1 {
+		streams = 1
+	}
+
+	// Total disk bandwidth under the current interleave level and transient
+	// slowness; our share is proportional to our stream presence (a lone
+	// drainer still competes with external streams).
+	d := o.cfg.DiskBW * o.effDisk(streams) * o.slowFactor
+	drainWeight := float64(n)
+	if drainWeight < 1 {
+		drainWeight = 1
+	}
+	ourDisk := d * drainWeight / (drainWeight + float64(m))
+
+	// External streams keep their share of the write-back cache dirty with
+	// their own data, so the capacity available for absorbing our bursts
+	// shrinks proportionally. This is what makes a busy target slow even
+	// for writes that would otherwise be cache-absorbed.
+	o.effCache = o.cfg.CacheBytes / float64(1+m)
+
+	if n == 0 {
+		if o.cacheLevel > 0 {
+			return 0, ourDisk
+		}
+		return 0, 0
+	}
+
+	// Network-side ingest available to our flows, degraded by machine-wide
+	// backend load; the same factor caps each client stream.
+	ing := o.cfg.IngestBW * o.effNet(streams) * o.ingestFactor
+	ourIngest := ing * float64(n) / float64(n+m)
+
+	cacheFull := o.cacheLevel >= o.effCache-completionEps
+	budget := ourIngest
+	if cacheFull {
+		// Cache cannot absorb: inflow throttles to the drain rate.
+		budget = math.Min(ourIngest, ourDisk)
+	}
+
+	// Fair-share the budget across flows, respecting per-stream caps with
+	// iterative water-filling (capped flows release budget to others). The
+	// ingest factor throttles individual streams too.
+	rates := waterFillFactor(o.flows, budget, o.ingestFactor)
+	for i, f := range o.flows {
+		f.rate = rates[i]
+		sumInflow += rates[i]
+	}
+	return sumInflow, ourDisk
+}
+
+// waterFill distributes budget across flows subject to per-flow caps.
+func waterFill(flows []*flow, budget float64) []float64 {
+	return waterFillFactor(flows, budget, 1)
+}
+
+// waterFillFactor is waterFill with each flow's cap scaled by capFactor.
+func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64 {
+	rates := make([]float64, len(flows))
+	capOf := func(i int) float64 { return flows[i].cap * capFactor }
+	remainingBudget := budget
+	unsat := make([]int, 0, len(flows))
+	for i := range flows {
+		unsat = append(unsat, i)
+	}
+	for len(unsat) > 0 {
+		share := remainingBudget / float64(len(unsat))
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			if capOf(i) <= share {
+				rates[i] = capOf(i)
+				remainingBudget -= capOf(i)
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progressed {
+			share = remainingBudget / float64(len(unsat))
+			for _, i := range unsat {
+				rates[i] = share
+			}
+			break
+		}
+	}
+	return rates
+}
+
+// advance integrates the fluid state from lastUpdate to now at the rates
+// currently in force, completing flows and waking flush waiters whose
+// conditions are met.
+func (o *OST) advance() {
+	now := o.k.Now()
+	dt := (now - o.lastUpdate).Seconds()
+	o.lastUpdate = now
+	if dt < 0 {
+		panic("pfs: time went backwards")
+	}
+	if dt == 0 {
+		o.fireCompletions()
+		return
+	}
+
+	var inflow float64
+	for _, f := range o.flows {
+		adv := f.rate * dt
+		if adv > f.remaining {
+			adv = f.remaining
+		}
+		f.remaining -= adv
+		inflow += adv
+	}
+	o.ingestedTotal += inflow
+
+	// Drain applies to dirty bytes plus pass-through of fresh inflow.
+	drainable := o.cacheLevel + inflow
+	drained := o.drainRate * dt
+	if drained > drainable {
+		drained = drainable
+	}
+	o.drainedTotal += drained
+	// Invariant: cacheLevel == ingestedTotal - drainedTotal, exactly. Never
+	// clamp it independently — that would strand bytes and leave flush
+	// watermarks unreachable. Event-time rounding can overshoot CacheBytes
+	// by a sub-byte sliver, which plan() already treats as "full".
+	o.cacheLevel = drainable - drained
+	if o.cacheLevel < 0 {
+		o.cacheLevel = 0
+	}
+
+	o.fireCompletions()
+}
+
+// fireCompletions completes exhausted flows and satisfied flush waiters.
+func (o *OST) fireCompletions() {
+	keep := o.flows[:0]
+	for _, f := range o.flows {
+		if f.remaining <= completionEps {
+			o.Stats.WritesFinished++
+			if f.done != nil {
+				f.done()
+			}
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	// Zero out the tail so completed flows can be collected.
+	for i := len(keep); i < len(o.flows); i++ {
+		o.flows[i] = nil
+	}
+	o.flows = keep
+
+	if len(o.waiters) > 0 {
+		keepW := o.waiters[:0]
+		for _, w := range o.waiters {
+			if o.drainedTotal+completionEps >= w.watermark {
+				w.wake()
+			} else {
+				keepW = append(keepW, w)
+			}
+		}
+		o.waiters = keepW
+	}
+	o.Stats.BytesIngested = o.ingestedTotal
+	o.Stats.BytesDrained = o.drainedTotal
+}
+
+// recompute re-plans rates and schedules the next boundary event. Must be
+// called after advance whenever membership or load changed.
+func (o *OST) recompute() {
+	if o.boundary != nil {
+		o.boundary.Cancel()
+		o.boundary = nil
+	}
+
+	sumInflow, drain := o.plan()
+	// Effective drain is limited by what is available (dirty + inflow).
+	o.drainRate = drain
+
+	next := math.Inf(1)
+
+	// Flow completions.
+	for _, f := range o.flows {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < next {
+				next = t
+			}
+		}
+	}
+
+	// Cache filling to the currently effective capacity (rate change
+	// boundary; the capacity shrinks while external streams hold cache).
+	fill := sumInflow - drain
+	if o.cacheLevel > 0 || sumInflow > drain {
+		if fill > 0 && o.cacheLevel < o.effCache {
+			if t := (o.effCache - o.cacheLevel) / fill; t < next {
+				next = t
+			}
+		}
+	}
+
+	// Flush waiters: time until the earliest watermark drains. The drain
+	// consumes dirty bytes first (FIFO), so progress toward a watermark w
+	// is bounded by drainedTotal growth at rate min(drain, available).
+	if len(o.waiters) > 0 && drain > 0 {
+		minW := math.Inf(1)
+		for _, w := range o.waiters {
+			if w.watermark < minW {
+				minW = w.watermark
+			}
+		}
+		needed := minW - o.drainedTotal
+		if needed <= completionEps {
+			next = 0
+		} else {
+			// drainedTotal advances at rate min(drain, cacheLevel/dt+inflow)
+			// ≈ drain while dirty bytes remain; the watermark is within the
+			// dirty region by construction.
+			if t := needed / drain; t < next {
+				next = t
+			}
+		}
+	}
+
+	if math.IsInf(next, 1) {
+		return // quiescent
+	}
+	// Clamp to one virtual nanosecond: crossing times smaller than the
+	// clock resolution would otherwise schedule zero-duration events and
+	// spin at a single timestamp.
+	if next < 1e-9 {
+		next = 1e-9
+	}
+	o.boundary = o.k.AfterSeconds(next, func() {
+		o.boundary = nil
+		o.advance()
+		o.recompute()
+	})
+}
+
+// String renders a compact diagnostic view.
+func (o *OST) String() string {
+	return fmt.Sprintf("OST%03d{flows=%d ext=%d slow=%.2f cache=%.0fMB}",
+		o.ID, len(o.flows), o.extStreams, o.slowFactor, o.cacheLevel/MB)
+}
+
+// DebugState dumps internal fluid state for diagnostics.
+func (o *OST) DebugState() string {
+	return fmt.Sprintf("flows=%d waiters=%d cache=%.6f ingested=%.6f drained=%.6f drainRate=%.3f boundaryActive=%v",
+		len(o.flows), len(o.waiters), o.cacheLevel, o.ingestedTotal, o.drainedTotal, o.drainRate, o.boundary.Active())
+}

@@ -1,0 +1,186 @@
+// Package rngx provides deterministic random-number streams and the
+// distributions used by the storage and interference models: exponential
+// inter-arrival times, lognormal service variation, bounded Pareto bursts,
+// and Markov-modulated on/off load processes.
+//
+// Every stochastic component in the simulator draws from its own named
+// stream derived from a master seed, so adding a new consumer never perturbs
+// the draws seen by existing ones (the classic substream discipline from
+// simulation practice).
+package rngx
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with the
+// distribution helpers the simulator needs.
+type Source struct {
+	r *rand.Rand
+}
+
+// New creates a stream from a raw seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// NewNamed derives an independent stream from a master seed and a name.
+// The same (seed, name) pair always yields the same stream.
+func NewNamed(seed int64, name string) *Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(seed ^ int64(h.Sum64()))
+}
+
+// Derive creates a child stream keyed by name, independent of the parent's
+// future draws.
+func (s *Source) Derive(name string) *Source {
+	return NewNamed(s.r.Int63(), name)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle permutes a slice in place via the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Uniform returns a draw uniform in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exp returns an exponential draw with the given mean (mean must be > 0).
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rngx: exponential mean must be positive")
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// Lognormal returns a draw whose logarithm is Normal(mu, sigma). Note the
+// parameters are of the underlying normal, not the resulting distribution.
+func (s *Source) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LognormalMeanCV returns a lognormal draw parameterised by its own mean and
+// coefficient of variation (stddev/mean), which is the natural way to
+// calibrate service-time noise against measured CoV values.
+func (s *Source) LognormalMeanCV(mean, cv float64) float64 {
+	if mean <= 0 {
+		panic("rngx: lognormal mean must be positive")
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return s.Lognormal(mu, math.Sqrt(sigma2))
+}
+
+// BoundedPareto returns a draw from a Pareto(alpha) distribution truncated
+// to [lo, hi]. Heavy-tailed burst sizes in the interference model use it.
+func (s *Source) BoundedPareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("rngx: invalid bounded-Pareto parameters")
+	}
+	u := s.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Poisson returns a Poisson draw with the given mean using Knuth's method
+// for small means and a normal approximation above 64 (adequate for load
+// modelling).
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := int(s.Normal(mean, math.Sqrt(mean)) + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// MarkovOnOff models a two-state continuous-time Markov process used for
+// per-OST external load: in the ON state a given number of external streams
+// compete for the storage target; in the OFF state none do. Holding times
+// are exponential.
+type MarkovOnOff struct {
+	src      *Source
+	MeanOn   float64 // mean seconds in ON state
+	MeanOff  float64 // mean seconds in OFF state
+	on       bool
+	holdLeft float64
+}
+
+// NewMarkovOnOff creates a process with the given mean holding times,
+// starting in a stationary-probability random state with a fresh holding
+// time.
+func NewMarkovOnOff(src *Source, meanOn, meanOff float64) *MarkovOnOff {
+	if meanOn <= 0 || meanOff <= 0 {
+		panic("rngx: MarkovOnOff holding times must be positive")
+	}
+	m := &MarkovOnOff{src: src, MeanOn: meanOn, MeanOff: meanOff}
+	pOn := meanOn / (meanOn + meanOff)
+	m.on = src.Bernoulli(pOn)
+	m.holdLeft = m.draw()
+	return m
+}
+
+func (m *MarkovOnOff) draw() float64 {
+	if m.on {
+		return m.src.Exp(m.MeanOn)
+	}
+	return m.src.Exp(m.MeanOff)
+}
+
+// On reports the current state.
+func (m *MarkovOnOff) On() bool { return m.on }
+
+// NextTransition returns the seconds until the next state flip.
+func (m *MarkovOnOff) NextTransition() float64 { return m.holdLeft }
+
+// Advance moves the process forward dt seconds, flipping states as holding
+// times expire, and returns the new state.
+func (m *MarkovOnOff) Advance(dt float64) bool {
+	for dt >= m.holdLeft {
+		dt -= m.holdLeft
+		m.on = !m.on
+		m.holdLeft = m.draw()
+	}
+	m.holdLeft -= dt
+	return m.on
+}

@@ -1,0 +1,178 @@
+package rngx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNamedStreamsIndependentAndReproducible(t *testing.T) {
+	a1 := NewNamed(42, "ost-load")
+	a2 := NewNamed(42, "ost-load")
+	b := NewNamed(42, "mds-load")
+	sawDiff := false
+	for i := 0; i < 32; i++ {
+		x1, x2, y := a1.Float64(), a2.Float64(), b.Float64()
+		if x1 != x2 {
+			t.Fatalf("same (seed,name) diverged at draw %d: %v vs %v", i, x1, x2)
+		}
+		if x1 != y {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different names produced identical streams")
+	}
+}
+
+func TestDeriveReproducible(t *testing.T) {
+	p1 := New(7)
+	p2 := New(7)
+	c1 := p1.Derive("child")
+	c2 := p2.Derive("child")
+	for i := 0; i < 16; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("derived streams diverged")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("exponential mean = %v, want ~3.0", mean)
+	}
+}
+
+func TestLognormalMeanCV(t *testing.T) {
+	s := New(2)
+	const n = 400000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := s.LognormalMeanCV(10, 0.5)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	varr := sq/n - mean*mean
+	cv := math.Sqrt(varr) / mean
+	if math.Abs(mean-10) > 0.15 {
+		t.Fatalf("lognormal mean = %v, want ~10", mean)
+	}
+	if math.Abs(cv-0.5) > 0.03 {
+		t.Fatalf("lognormal CV = %v, want ~0.5", cv)
+	}
+}
+
+func TestLognormalZeroCVDegeneratesToMean(t *testing.T) {
+	s := New(3)
+	if got := s.LognormalMeanCV(5, 0); got != 5 {
+		t.Fatalf("cv=0 should return the mean, got %v", got)
+	}
+}
+
+func TestBoundedParetoInRange(t *testing.T) {
+	s := New(4)
+	f := func(seed uint8) bool {
+		x := s.BoundedPareto(1.3, 2, 100)
+		return x >= 2 && x <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(-3, 7)
+		if x < -3 || x >= 7 {
+			t.Fatalf("uniform draw %v out of [-3,7)", x)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(6)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestMarkovOnOffStationaryFraction(t *testing.T) {
+	s := New(8)
+	m := NewMarkovOnOff(s, 2.0, 6.0) // stationary P(on) = 0.25
+	const step = 0.1
+	var onTime, total float64
+	for i := 0; i < 400000; i++ {
+		if m.On() {
+			onTime += step
+		}
+		total += step
+		m.Advance(step)
+	}
+	frac := onTime / total
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("on-fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestMarkovOnOffAdvanceCrossesMultipleHolds(t *testing.T) {
+	s := New(9)
+	m := NewMarkovOnOff(s, 1.0, 1.0)
+	// Jump far beyond any single holding time; must not hang or panic and
+	// must leave a positive residual hold.
+	m.Advance(1e6)
+	if m.NextTransition() <= 0 {
+		t.Fatal("residual holding time must be positive")
+	}
+}
+
+func TestPanicsOnInvalidParams(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"exp":      func() { s.Exp(0) },
+		"lnmean":   func() { s.LognormalMeanCV(0, 1) },
+		"pareto":   func() { s.BoundedPareto(0, 1, 2) },
+		"paretoHi": func() { s.BoundedPareto(1, 5, 5) },
+		"markov":   func() { NewMarkovOnOff(s, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

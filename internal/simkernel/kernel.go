@@ -1,0 +1,435 @@
+// Package simkernel provides a deterministic discrete-event simulation
+// kernel. All higher-level substrates in this repository — the parallel file
+// system model, the MPI-like message substrate, the interference generators —
+// are built on top of it.
+//
+// The kernel owns a virtual clock and an event queue. Simulation processes
+// are goroutines, but only one of them (or the kernel loop itself) ever runs
+// at a time: control is handed off explicitly, so a given seed always produces
+// the exact same execution. Events scheduled for the same virtual time fire
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties), which makes message delivery and resource handoff FIFO and
+// reproducible.
+package simkernel
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time has no relation to wall-clock time; a simulated
+// petascale IO phase of several minutes typically executes in milliseconds.
+type Time int64
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts a virtual time (interpreted as a span) to a
+// time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts floating-point seconds to a virtual time span,
+// rounding to the nearest nanosecond. Negative inputs are clamped to zero so
+// that tiny negative residues from floating-point rate arithmetic cannot
+// schedule events in the past.
+func FromSeconds(s float64) Time {
+	if s <= 0 {
+		return 0
+	}
+	return Time(s*1e9 + 0.5)
+}
+
+// String renders the time as seconds with nanosecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.9fs", t.Seconds()) }
+
+// event is a single scheduled occurrence. fire is invoked in kernel context.
+type event struct {
+	at        Time
+	seq       uint64
+	fire      func()
+	cancelled bool
+	index     int // heap bookkeeping
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. Cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's event from firing. Safe to call multiple times.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Active reports whether the timer is still pending (not fired, not
+// cancelled).
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+}
+
+// Kernel is the simulation engine. Create one with New, spawn processes with
+// Spawn, then call Run. A Kernel must not be shared across concurrently
+// running simulations.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is the handoff channel: a running process sends on it exactly
+	// once each time it parks or terminates, returning control to the
+	// kernel loop.
+	yield chan struct{}
+
+	procs      []*Proc
+	nextProcID int
+
+	running  bool
+	finished bool
+
+	// EventLimit, when positive, aborts Run with a panic after that many
+	// events — a guard against accidental unbounded simulations in tests.
+	EventLimit uint64
+}
+
+// New creates an empty kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// schedule inserts an event at absolute time at (clamped to now) and returns
+// it.
+func (k *Kernel) schedule(at Time, fire func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, fire: fire}
+	heap.Push(&k.events, ev)
+	return ev
+}
+
+// At schedules fn to run in kernel context at absolute virtual time at.
+// Times in the past are clamped to the present. The returned Timer may be
+// used to cancel the event.
+func (k *Kernel) At(at Time, fn func()) *Timer {
+	return &Timer{ev: k.schedule(at, fn)}
+}
+
+// After schedules fn to run in kernel context after virtual duration d.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+Time(d), fn)
+}
+
+// AfterSeconds schedules fn after a floating-point number of virtual seconds.
+func (k *Kernel) AfterSeconds(s float64, fn func()) *Timer {
+	return k.At(k.now+FromSeconds(s), fn)
+}
+
+// Run executes events until the queue is empty (or until Stop is called by
+// an event). It returns the final virtual time. Processes still parked when
+// the queue drains are left suspended; call Shutdown to terminate their
+// goroutines.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline and returns the
+// current virtual time afterwards. Events beyond the deadline remain queued,
+// so the simulation may be resumed with a later deadline.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	if k.running {
+		panic("simkernel: Run re-entered")
+	}
+	k.running = true
+	k.finished = false
+	defer func() { k.running = false }()
+
+	var fired uint64
+	for k.events.Len() > 0 {
+		next := k.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.cancelled {
+			continue
+		}
+		k.now = next.at
+		fired++
+		if k.EventLimit > 0 && fired > k.EventLimit {
+			panic(fmt.Sprintf("simkernel: event limit %d exceeded at t=%v", k.EventLimit, k.now))
+		}
+		next.fire()
+		if k.finished {
+			break
+		}
+	}
+	if deadline > k.now && k.events.Len() == 0 && !k.finished {
+		// Queue drained naturally; clock stays at the last event.
+		_ = deadline
+	}
+	return k.now
+}
+
+// Stop halts Run after the currently firing event completes. Pending events
+// remain queued.
+func (k *Kernel) Stop() { k.finished = true }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+// procState tracks a process's lifecycle.
+type procState int
+
+const (
+	procReady procState = iota // spawned, start event queued
+	procRunning
+	procParked
+	procDone
+)
+
+// shutdownSignal is delivered through a process's wake channel to unwind it.
+type wakeKind int
+
+const (
+	wakeRun wakeKind = iota
+	wakeShutdown
+)
+
+// haltSentinel is panicked inside a process goroutine to unwind it during
+// Shutdown; the spawn wrapper recovers it.
+type haltSentinel struct{}
+
+// Proc is a simulation process: a goroutine that runs under the kernel's
+// handoff discipline. All Proc methods must be called from the process's own
+// goroutine unless documented otherwise.
+type Proc struct {
+	k     *Kernel
+	id    int
+	name  string
+	wake  chan wakeKind
+	state procState
+}
+
+// Spawn creates a process that begins executing fn at the current virtual
+// time (as a scheduled event, so the caller continues first). The name is
+// used in diagnostics only.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextProcID++
+	p := &Proc{
+		k:     k,
+		id:    k.nextProcID,
+		name:  name,
+		wake:  make(chan wakeKind),
+		state: procReady,
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		kind := <-p.wake
+		if kind == wakeShutdown {
+			p.state = procDone
+			k.yield <- struct{}{}
+			return
+		}
+		defer func() {
+			p.state = procDone
+			if r := recover(); r != nil {
+				if _, ok := r.(haltSentinel); ok {
+					k.yield <- struct{}{}
+					return
+				}
+				// Re-panicking here would crash on the goroutine with a
+				// useless stack; surface the original panic value instead.
+				panic(fmt.Sprintf("simkernel: process %q panicked: %v", p.name, r))
+			}
+			k.yield <- struct{}{}
+		}()
+		p.state = procRunning
+		fn(p)
+	}()
+	k.schedule(k.now, func() { p.resume(wakeRun) })
+	return p
+}
+
+// SpawnAt is like Spawn but delays the process's first execution until
+// absolute virtual time at.
+func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	if at < k.now {
+		at = k.now
+	}
+	k.nextProcID++
+	p := &Proc{
+		k:     k,
+		id:    k.nextProcID,
+		name:  name,
+		wake:  make(chan wakeKind),
+		state: procReady,
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		kind := <-p.wake
+		if kind == wakeShutdown {
+			p.state = procDone
+			k.yield <- struct{}{}
+			return
+		}
+		defer func() {
+			p.state = procDone
+			if r := recover(); r != nil {
+				if _, ok := r.(haltSentinel); ok {
+					k.yield <- struct{}{}
+					return
+				}
+				panic(fmt.Sprintf("simkernel: process %q panicked: %v", p.name, r))
+			}
+			k.yield <- struct{}{}
+		}()
+		p.state = procRunning
+		fn(p)
+	}()
+	k.schedule(at, func() { p.resume(wakeRun) })
+	return p
+}
+
+// resume hands control to the process and blocks (in kernel context) until
+// it parks or terminates.
+func (p *Proc) resume(kind wakeKind) {
+	if p.state == procDone {
+		return
+	}
+	p.wake <- kind
+	<-p.k.yield
+}
+
+// park suspends the process, returning control to the kernel. The process
+// resumes when some event calls resume. If the wakeup is a shutdown, the
+// goroutine unwinds.
+func (p *Proc) park() {
+	p.state = procParked
+	p.k.yield <- struct{}{}
+	kind := <-p.wake
+	if kind == wakeShutdown {
+		panic(haltSentinel{})
+	}
+	p.state = procRunning
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique id within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Done reports whether the process has terminated (from kernel context this
+// is safe to call at any time).
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+Time(d), func() { p.resume(wakeRun) })
+	p.park()
+}
+
+// SleepSeconds suspends the process for a floating-point number of virtual
+// seconds.
+func (p *Proc) SleepSeconds(s float64) {
+	p.k.schedule(p.k.now+FromSeconds(s), func() { p.resume(wakeRun) })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute virtual time at (no-op if
+// at is in the past).
+func (p *Proc) SleepUntil(at Time) {
+	if at <= p.k.now {
+		return
+	}
+	p.k.schedule(at, func() { p.resume(wakeRun) })
+	p.park()
+}
+
+// Suspend parks the process until another component wakes it via the
+// returned Waker. Each Waker wakes exactly one Suspend call.
+func (p *Proc) Suspend() {
+	p.park()
+}
+
+// Waker resumes a suspended process at the current virtual time (scheduled
+// as an event, preserving deterministic ordering). It must be called from
+// kernel or process context of the same kernel.
+func (p *Proc) Waker() func() {
+	return func() {
+		p.k.schedule(p.k.now, func() { p.resume(wakeRun) })
+	}
+}
+
+// Shutdown unwinds all processes that have not yet terminated. Call it after
+// Run to avoid leaking goroutines (parked processes otherwise remain blocked
+// for the lifetime of the program). The kernel must not be running.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		panic("simkernel: Shutdown during Run")
+	}
+	for _, p := range k.procs {
+		switch p.state {
+		case procDone:
+			continue
+		case procReady, procParked:
+			p.wake <- wakeShutdown
+			<-k.yield
+		case procRunning:
+			// Impossible outside Run: a running process implies the kernel
+			// loop is blocked in resume.
+			panic("simkernel: process still running in Shutdown")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package simkernel
+
+// This file provides the synchronization primitives used by higher layers:
+// FIFO mailboxes for message passing, counted resources for queueing servers
+// (e.g. the metadata server), broadcast signals, and wait groups.
+
+// Mailbox is an unbounded FIFO message queue connecting simulation
+// processes. Send never blocks; Recv blocks the calling process until a
+// message is available. Delivery order is deterministic: messages are
+// received in send order, and competing receivers are served in the order
+// they blocked.
+type Mailbox struct {
+	k       *Kernel
+	queue   []any
+	waiters []*Proc
+}
+
+// NewMailbox creates a mailbox bound to kernel k.
+func NewMailbox(k *Kernel) *Mailbox {
+	return &Mailbox{k: k}
+}
+
+// Len reports the number of queued (undelivered) messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Send enqueues v. If a process is blocked in Recv, its wakeup is scheduled
+// at the current virtual time (it runs after the sender parks or returns to
+// the kernel). Send is callable from both process and kernel context.
+func (m *Mailbox) Send(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		m.k.schedule(m.k.now, func() { w.resume(wakeRun) })
+	}
+}
+
+// SendAfter enqueues v after virtual duration d (modelling, e.g., message
+// latency). Callable from both process and kernel context.
+func (m *Mailbox) SendAfter(d Time, v any) {
+	m.k.schedule(m.k.now+d, func() { m.Send(v) })
+}
+
+// Recv blocks p until a message is available and returns it.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	return v
+}
+
+// TryRecv returns the next message without blocking; ok is false when the
+// mailbox is empty.
+func (m *Mailbox) TryRecv() (v any, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v = m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	return v, true
+}
+
+// Resource is a counted FIFO resource: up to Capacity holders at a time,
+// additional acquirers queue in arrival order. It models service points such
+// as the metadata server's request slots.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// MaxQueue tracks the high-water mark of the wait queue, useful for
+	// diagnosing contention in experiments.
+	MaxQueue int
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity < 1 {
+		panic("simkernel: resource capacity must be >= 1")
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Acquire blocks p until a slot is available, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.MaxQueue {
+		r.MaxQueue = len(r.waiters)
+	}
+	p.park()
+	// Woken by Release, which transferred the slot to us.
+}
+
+// Release frees a slot, waking the longest-waiting acquirer if any. Callable
+// from both process and kernel context.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("simkernel: Release without Acquire")
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		// Slot transfers directly: inUse stays constant.
+		r.k.schedule(r.k.now, func() { w.resume(wakeRun) })
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of waiting acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Signal is a broadcast condition: processes block in Wait until some
+// component calls Broadcast, which wakes all of them.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+	fired   bool
+}
+
+// NewSignal creates a signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal {
+	return &Signal{k: k}
+}
+
+// Wait blocks p until the signal has been broadcast. If Broadcast already
+// happened, Wait returns immediately.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes all waiters and latches the signal: subsequent Wait calls
+// return immediately. Callable from both process and kernel context.
+func (s *Signal) Broadcast() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		w := w
+		s.k.schedule(s.k.now, func() { w.resume(wakeRun) })
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether Broadcast has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// WaitGroup counts outstanding work items; Wait blocks until the count
+// reaches zero. Unlike sync.WaitGroup it is single-threaded under the
+// kernel's handoff discipline and allows multiple waiters.
+type WaitGroup struct {
+	k       *Kernel
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a wait group bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k}
+}
+
+// Add increments the counter by n (n may be negative; Done is Add(-1)).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("simkernel: negative WaitGroup counter")
+	}
+	if wg.count == 0 && len(wg.waiters) > 0 {
+		for _, w := range wg.waiters {
+			w := w
+			wg.k.schedule(wg.k.now, func() { w.resume(wakeRun) })
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park()
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machines"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+func setup(t *testing.T) (*simkernel.Kernel, *pfs.FileSystem) {
+	t.Helper()
+	k := simkernel.New()
+	cfg := machines.Jaguar(4).FS
+	cfg.NumOSTs = 4
+	return k, pfs.MustNew(k, cfg)
+}
+
+func TestTracerSamplesAtInterval(t *testing.T) {
+	k, fs := setup(t)
+	tr := Start(fs, 1.0)
+	k.Spawn("w", func(p *simkernel.Proc) {
+		fs.OST(0).Write(p, 200*pfs.MB)
+	})
+	k.RunUntil(simkernel.FromSeconds(10))
+	tr.Stop()
+	k.Shutdown()
+	n := len(tr.Samples())
+	if n < 9 || n > 12 {
+		t.Fatalf("samples = %d, want ~10", n)
+	}
+	sawFlow := false
+	for _, s := range tr.Samples() {
+		if s.Flows[0] > 0 {
+			sawFlow = true
+		}
+		if len(s.Flows) != 4 || len(s.Cache) != 4 || len(s.Slow) != 4 {
+			t.Fatal("sample shape wrong")
+		}
+	}
+	if !sawFlow {
+		t.Fatal("active flow never sampled")
+	}
+}
+
+func TestThroughputSeriesTracksDrain(t *testing.T) {
+	k, fs := setup(t)
+	tr := Start(fs, 0.5)
+	k.Spawn("w", func(p *simkernel.Proc) {
+		fs.OST(1).Write(p, 100*pfs.MB)
+		fs.OST(1).Flush(p)
+	})
+	k.RunUntil(simkernel.FromSeconds(8))
+	tr.Stop()
+	k.Shutdown()
+	tp := tr.Throughput()
+	if len(tp) == 0 {
+		t.Fatal("no throughput samples")
+	}
+	var total float64
+	for i, v := range tp {
+		dt := tr.Samples()[i+1].T - tr.Samples()[i].T
+		total += v * dt
+	}
+	if total < 99*pfs.MB || total > 101*pfs.MB {
+		t.Fatalf("integrated throughput %.1f MB, want ~100", total/pfs.MB)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	k, fs := setup(t)
+	fs.OST(2).SetSlowFactor(0.3)
+	fs.OST(3).SetExternalStreams(2)
+	tr := Start(fs, 1.0)
+	k.Spawn("w", func(p *simkernel.Proc) {
+		for i := 0; i < 3; i++ {
+			fs.OST(0).Write(p, 60*pfs.MB)
+		}
+	})
+	k.RunUntil(simkernel.FromSeconds(6))
+	tr.Stop()
+	k.Shutdown()
+
+	act := tr.RenderActivity(40)
+	if !strings.Contains(act, "OST000") || !strings.Contains(act, "OST003") {
+		t.Fatalf("activity rows missing:\n%s", act)
+	}
+	slow := tr.RenderSlowness(40)
+	if strings.Count(slow, "\n") != 5 {
+		t.Fatalf("slowness lines wrong:\n%s", slow)
+	}
+	// OST2 is degraded: its row must carry non-space glyphs.
+	for _, line := range strings.Split(slow, "\n") {
+		if strings.HasPrefix(line, "OST002") {
+			body := strings.Trim(line[8:], "|")
+			if strings.TrimSpace(body) == "" {
+				t.Fatalf("degraded target rendered clean: %q", line)
+			}
+		}
+	}
+	tp := tr.RenderThroughput(30)
+	if !strings.Contains(tp, "MB/s") {
+		t.Fatalf("throughput render wrong:\n%s", tp)
+	}
+}
+
+func TestEmptyTracerRenders(t *testing.T) {
+	k, fs := setup(t)
+	tr := &Tracer{fs: fs}
+	if !strings.Contains(tr.RenderActivity(10), "no samples") {
+		t.Fatal("empty activity render")
+	}
+	if !strings.Contains(tr.RenderThroughput(10), "no samples") {
+		t.Fatal("empty throughput render")
+	}
+	if tr.Throughput() != nil {
+		t.Fatal("empty throughput series")
+	}
+	k.Shutdown()
+	_ = time.Second
+}
+
+func TestMaxSamplesBounds(t *testing.T) {
+	k, fs := setup(t)
+	tr := Start(fs, 0.001)
+	tr.MaxSamples = 50
+	k.RunUntil(simkernel.FromSeconds(10))
+	k.Shutdown()
+	if got := len(tr.Samples()); got > 50 {
+		t.Fatalf("samples = %d exceeds bound", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package mpiio implements the ADIOS MPI-IO transport the paper evaluates
+// adaptive IO against (Section III-A): the well-tuned baseline that buffers
+// all output on the compute nodes and writes a single shared file.
+//
+// It carries the baseline's Lustre-specific optimisations from the authors'
+// earlier work: every rank's buffered output is written as one contiguous
+// block, and the shared file's stripe size is set to the block size so each
+// rank's block lands on exactly one storage target. What it cannot escape is
+// the Lustre 1.6 limit of 160 storage targets for a single file — with
+// tens of thousands of writers that forces many writers per target
+// (internal interference), and a transient slowdown of any one of the 160
+// targets stalls every rank mapped to it (external interference), since the
+// collective completes only when the slowest writer does.
+//
+// The SplitFiles option implements the alternative the paper's Section II-3
+// discusses: splitting the output into several shared files so the
+// application can reach the whole file system. As the paper argues (and the
+// tests verify), this alleviates internal interference but solves neither
+// it nor external interference.
+package mpiio
+
+import (
+	"fmt"
+
+	"repro/internal/bp"
+	"repro/internal/iomethod"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// Config tunes the MPI-IO baseline.
+type Config struct {
+	// OSTs are the storage targets available; each shared file uses at most
+	// the file system's MaxStripeCount of them (160 on the paper's Lustre
+	// 1.6). Empty means targets 0..N-1.
+	OSTs []int
+
+	// NoFlush drops the explicit pre-close flush from the timed region
+	// (the paper's methodology includes it; tests may disable it).
+	NoFlush bool
+
+	// SplitFiles splits the output into this many shared files, each on
+	// its own slice of storage targets — the Section II-3 alternative
+	// ("splitting output into 5 parts would enable an application to take
+	// full advantage of the entire file system's resources"). Zero or one
+	// means a single shared file.
+	SplitFiles int
+}
+
+// Method is the MPI-IO transport bound to a world and file system.
+type Method struct {
+	w   *mpisim.World
+	fs  *pfs.FileSystem
+	cfg Config
+
+	steps     map[string]*stepState
+	stepCount int
+}
+
+type stepState struct {
+	name    string
+	seq     int
+	res     *iomethod.StepResult
+	files   []*pfs.File // per cohort
+	offsets []int64     // per rank, within its cohort's file
+	sizes   []int64     // per rank
+
+	arrivedWG *simkernel.WaitGroup   // all ranks registered their sizes
+	createdWG *simkernel.WaitGroup   // every cohort leader created its file
+	writersWG []*simkernel.WaitGroup // per cohort: writers finished
+	closedWG  []*simkernel.WaitGroup // per cohort: footer written, closed
+	t0        simkernel.Time
+	t0Set     bool
+	returned  int
+	entries   [][]bp.VarEntry
+	locals    []bp.LocalIndex
+	indexed   int
+	createErr error
+}
+
+// New builds the MPI-IO method.
+func New(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Method, error) {
+	if len(cfg.OSTs) == 0 {
+		cfg.OSTs = make([]int, len(fs.OSTs))
+		for i := range cfg.OSTs {
+			cfg.OSTs[i] = i
+		}
+	}
+	for _, o := range cfg.OSTs {
+		if o < 0 || o >= len(fs.OSTs) {
+			return nil, fmt.Errorf("mpiio: OST %d out of range", o)
+		}
+	}
+	if cfg.SplitFiles < 0 {
+		return nil, fmt.Errorf("mpiio: negative SplitFiles")
+	}
+	if cfg.SplitFiles == 0 {
+		cfg.SplitFiles = 1
+	}
+	if cfg.SplitFiles > w.Size() {
+		cfg.SplitFiles = w.Size()
+	}
+	return &Method{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}, nil
+}
+
+// Name implements iomethod.Method.
+func (m *Method) Name() string { return "MPI" }
+
+// cohortOf maps a rank to its file cohort (contiguous blocks).
+func (m *Method) cohortOf(rank int) int {
+	per := (m.w.Size() + m.cfg.SplitFiles - 1) / m.cfg.SplitFiles
+	return rank / per
+}
+
+// cohortRanks returns the ranks of cohort i.
+func (m *Method) cohortRanks(i int) (lo, hi int) {
+	per := (m.w.Size() + m.cfg.SplitFiles - 1) / m.cfg.SplitFiles
+	lo = i * per
+	hi = lo + per
+	if hi > m.w.Size() {
+		hi = m.w.Size()
+	}
+	return lo, hi
+}
+
+// cohortOSTs returns cohort i's storage-target slice, capped at the
+// single-file stripe limit.
+func (m *Method) cohortOSTs(i int) []int {
+	k := m.cfg.SplitFiles
+	per := len(m.cfg.OSTs) / k
+	if per < 1 {
+		per = 1
+	}
+	lo := (i * per) % len(m.cfg.OSTs)
+	out := make([]int, 0, per)
+	for j := 0; j < per; j++ {
+		out = append(out, m.cfg.OSTs[(lo+j)%len(m.cfg.OSTs)])
+	}
+	if max := m.fs.Cfg.MaxStripeCount; len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// StripeTargets reports the targets the first shared file will use.
+func (m *Method) StripeTargets() []int { return m.cohortOSTs(0) }
+
+// Files reports how many shared files a step will produce.
+func (m *Method) Files() int { return m.cfg.SplitFiles }
+
+func (m *Method) getStep(stepName string) *stepState {
+	st, ok := m.steps[stepName]
+	if !ok {
+		W := m.w.Size()
+		k := m.w.Kernel()
+		nFiles := m.cfg.SplitFiles
+		st = &stepState{
+			name:      stepName,
+			seq:       m.stepCount,
+			files:     make([]*pfs.File, nFiles),
+			offsets:   make([]int64, W),
+			sizes:     make([]int64, W),
+			entries:   make([][]bp.VarEntry, W),
+			locals:    make([]bp.LocalIndex, nFiles),
+			arrivedWG: simkernel.NewWaitGroup(k),
+			createdWG: simkernel.NewWaitGroup(k),
+			res: &iomethod.StepResult{
+				WriterTimes: make([]float64, W),
+				Files:       nFiles,
+			},
+		}
+		m.stepCount++
+		st.arrivedWG.Add(W)
+		st.createdWG.Add(nFiles)
+		for i := 0; i < nFiles; i++ {
+			lo, hi := m.cohortRanks(i)
+			wg := simkernel.NewWaitGroup(k)
+			wg.Add(hi - lo)
+			st.writersWG = append(st.writersWG, wg)
+			cg := simkernel.NewWaitGroup(k)
+			cg.Add(1)
+			st.closedWG = append(st.closedWG, cg)
+		}
+		m.steps[stepName] = st
+	}
+	return st
+}
+
+// fileName names cohort i's shared file.
+func fileName(stepName string, cohort, total int) string {
+	if total == 1 {
+		return stepName + ".bp"
+	}
+	return fmt.Sprintf("%s.part%02d.bp", stepName, cohort)
+}
+
+// WriteStep implements iomethod.Method: buffer (instantaneous in the model —
+// ADIOS buffers during the compute phase), compute collective offsets, and
+// write one contiguous block per rank into the cohort's shared file,
+// stripe-aligned so each rank's block maps to exactly one storage target.
+// The close is collective per cohort, matching MPI_File_close semantics and
+// the paper's "write, flush, and file close" timed region.
+func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankData) (*iomethod.StepResult, error) {
+	st := m.getStep(stepName)
+	rank := r.Rank()
+	p := r.Proc()
+	cohort := m.cohortOf(rank)
+	lo, hi := m.cohortRanks(cohort)
+	leader := rank == lo
+
+	st.sizes[rank] = data.TotalBytes()
+	st.arrivedWG.Done()
+
+	// --- Untimed setup: each cohort leader creates its shared file once
+	// every rank has registered its size; offsets are stripe-aligned. ---
+	if leader {
+		st.arrivedWG.Wait(p)
+		var stripe int64 = 1
+		for i := lo; i < hi; i++ {
+			if st.sizes[i] > stripe {
+				stripe = st.sizes[i]
+			}
+		}
+		var off int64
+		for i := lo; i < hi; i++ {
+			st.offsets[i] = off
+			off += stripe
+		}
+		f, err := m.fs.Create(p, fileName(stepName, cohort, m.cfg.SplitFiles),
+			pfs.Layout{OSTs: m.cohortOSTs(cohort), StripeSize: stripe})
+		if err != nil && st.createErr == nil {
+			st.createErr = err
+		}
+		st.files[cohort] = f
+		st.createdWG.Done()
+	}
+	st.createdWG.Wait(p)
+	if st.createErr != nil {
+		st.writersWG[cohort].Done()
+		return nil, fmt.Errorf("mpiio: shared-file create failed: %v", st.createErr)
+	}
+	if !st.t0Set {
+		st.t0 = p.Now()
+		st.t0Set = true
+		st.res.MDSOpenQueuePeak = m.fs.MDS.Stats.MaxQueue
+	}
+
+	// --- Timed phase: write the buffered block, flush. ---
+	f := st.files[cohort]
+	entries, total := iomethod.BuildEntries(rank, st.offsets[rank], data)
+	st.entries[rank] = entries
+	f.WriteAt(p, st.offsets[rank], total)
+	if !m.cfg.NoFlush {
+		f.Flush(p)
+	}
+	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
+	st.res.TotalBytes += float64(total)
+	st.writersWG[cohort].Done()
+
+	// Each cohort leader appends its file's footer index and closes;
+	// everyone joins their cohort's collective close.
+	if leader {
+		st.writersWG[cohort].Wait(p)
+		li := bp.LocalIndex{File: fileName(stepName, cohort, m.cfg.SplitFiles)}
+		for i := lo; i < hi; i++ {
+			li.Entries = append(li.Entries, st.entries[i]...)
+		}
+		li.Sort()
+		enc, err := li.Encode()
+		if err != nil {
+			return nil, err
+		}
+		f.Append(p, int64(len(enc)))
+		st.res.IndexBytes += float64(len(enc))
+		if !m.cfg.NoFlush {
+			f.Flush(p)
+		}
+		f.Close(p)
+		st.locals[cohort] = li
+		st.indexed++
+		if st.indexed == m.cfg.SplitFiles {
+			g := &bp.GlobalIndex{Step: int64(st.seq), Locals: append([]bp.LocalIndex(nil), st.locals...)}
+			g.Sort()
+			st.res.Global = g
+		}
+		st.closedWG[cohort].Done()
+	}
+	st.closedWG[cohort].Wait(p)
+
+	if el := (p.Now() - st.t0).Seconds(); el > st.res.Elapsed {
+		st.res.Elapsed = el
+	}
+	st.returned++
+	if st.returned == m.w.Size() {
+		delete(m.steps, stepName)
+	}
+	return st.res, nil
+}

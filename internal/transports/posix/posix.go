@@ -1,0 +1,139 @@
+// Package posix implements the simplest ADIOS transport: one file per
+// process, POSIX-style, each file striped to a single storage target chosen
+// round-robin. It is the organisation IOR uses in the paper's Section II
+// measurements and serves as a second baseline: free of shared-file limits
+// but entirely unmanaged — every rank writes immediately, so a popular
+// target serves all its writers at once and slow targets stall their ranks.
+package posix
+
+import (
+	"fmt"
+
+	"repro/internal/bp"
+	"repro/internal/iomethod"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// Config tunes the POSIX transport.
+type Config struct {
+	// OSTs are the storage targets to spread files across; empty means all.
+	OSTs []int
+	// NoFlush drops the explicit pre-close flush from the timed region.
+	NoFlush bool
+}
+
+// Method is the POSIX transport bound to a world and file system.
+type Method struct {
+	w   *mpisim.World
+	fs  *pfs.FileSystem
+	cfg Config
+
+	steps     map[string]*stepState
+	stepCount int
+}
+
+type stepState struct {
+	seq      int
+	res      *iomethod.StepResult
+	setupWG  *simkernel.WaitGroup
+	start    *simkernel.Signal
+	t0       simkernel.Time
+	t0Set    bool
+	returned int
+	locals   []bp.LocalIndex
+}
+
+// New builds the POSIX method.
+func New(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Method, error) {
+	if len(cfg.OSTs) == 0 {
+		cfg.OSTs = make([]int, len(fs.OSTs))
+		for i := range cfg.OSTs {
+			cfg.OSTs[i] = i
+		}
+	}
+	for _, o := range cfg.OSTs {
+		if o < 0 || o >= len(fs.OSTs) {
+			return nil, fmt.Errorf("posix: OST %d out of range", o)
+		}
+	}
+	return &Method{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}, nil
+}
+
+// Name implements iomethod.Method.
+func (m *Method) Name() string { return "POSIX" }
+
+func (m *Method) step(stepName string) *stepState {
+	st, ok := m.steps[stepName]
+	if !ok {
+		W := m.w.Size()
+		k := m.w.Kernel()
+		st = &stepState{
+			seq:     m.stepCount,
+			setupWG: simkernel.NewWaitGroup(k),
+			start:   simkernel.NewSignal(k),
+			res: &iomethod.StepResult{
+				WriterTimes: make([]float64, W),
+				Files:       W,
+			},
+			locals: make([]bp.LocalIndex, W),
+		}
+		m.stepCount++
+		st.setupWG.Add(W)
+		m.steps[stepName] = st
+	}
+	return st
+}
+
+// WriteStep implements iomethod.Method: create own file (untimed), barrier,
+// write + local index + flush + close (timed).
+func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankData) (*iomethod.StepResult, error) {
+	st := m.step(stepName)
+	rank := r.Rank()
+	p := r.Proc()
+
+	target := m.cfg.OSTs[rank%len(m.cfg.OSTs)]
+	name := fmt.Sprintf("%s.r%06d.bp", stepName, rank)
+	f, err := m.fs.Create(p, name, pfs.Layout{OSTs: []int{target}})
+	if err != nil {
+		return nil, err
+	}
+	st.setupWG.Done()
+	st.setupWG.Wait(p)
+	if !st.t0Set {
+		st.t0 = p.Now()
+		st.t0Set = true
+	}
+
+	entries, total := iomethod.BuildEntries(rank, 0, data)
+	f.WriteAt(p, 0, total)
+	li := bp.LocalIndex{File: name, Entries: entries}
+	li.Sort()
+	enc, err := li.Encode()
+	if err != nil {
+		return nil, err
+	}
+	f.Append(p, int64(len(enc)))
+	st.res.IndexBytes += float64(len(enc))
+	if !m.cfg.NoFlush {
+		f.Flush(p)
+	}
+	f.Close(p)
+
+	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
+	st.res.TotalBytes += float64(total)
+	st.locals[rank] = li
+	if el := (p.Now() - st.t0).Seconds(); el > st.res.Elapsed {
+		st.res.Elapsed = el
+	}
+
+	st.returned++
+	if st.returned == m.w.Size() {
+		g := &bp.GlobalIndex{Step: int64(st.seq), Locals: st.locals}
+		g.Sort()
+		st.res.Global = g
+		delete(m.steps, stepName)
+	}
+	return st.res, nil
+}

@@ -1,0 +1,366 @@
+// Package staging implements a data-staging transport, the alternative
+// Section II-3 of the paper analyzes: output moves from the many compute
+// ranks to a small set of staging nodes first, and the staging nodes drain
+// it to the parallel file system asynchronously.
+//
+// The paper's two observations about staging are both reproduced by this
+// model and checked in its tests:
+//
+//  1. "the total buffer space available in the staging area is limited,
+//     thereby limiting the achievable degree of asynchronicity" — a rank's
+//     WriteStep returns as soon as its data is accepted by a staging node,
+//     but acceptance blocks while the node's buffer is full, so an output
+//     larger than the staging area degenerates toward synchronous speed.
+//  2. staging "can help with interference issues, but does not directly
+//     address them" — the drain sees exactly the same interfering file
+//     system.
+//
+// As the paper notes its ongoing work integrated adaptive ideas into the
+// staging software, the drainer offers a least-loaded target policy
+// (DrainLeastLoaded) next to plain round-robin.
+package staging
+
+import (
+	"fmt"
+
+	"repro/internal/bp"
+	"repro/internal/iomethod"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// DrainPolicy selects how staging nodes place drained blocks on storage.
+type DrainPolicy int
+
+const (
+	// DrainRoundRobin writes each staging node's file on a fixed target.
+	DrainRoundRobin DrainPolicy = iota
+	// DrainLeastLoaded picks, per block, the target with the least queued
+	// work — the adaptive-flavoured variant.
+	DrainLeastLoaded
+)
+
+// Config tunes the staging transport.
+type Config struct {
+	// Nodes is the number of staging nodes (compute ranks map to nodes
+	// round-robin).
+	Nodes int
+	// BufferBytes is each node's staging buffer capacity.
+	BufferBytes float64
+	// NodeIngestBW is a node's network acceptance rate in bytes/sec
+	// (transfers from ranks are served FIFO at this rate).
+	NodeIngestBW float64
+	// OSTs are the storage targets the drainers may use; empty = all.
+	OSTs []int
+	// Policy selects the drain placement policy.
+	Policy DrainPolicy
+}
+
+// Method is the staging transport bound to a world and file system.
+type Method struct {
+	w   *mpisim.World
+	fs  *pfs.FileSystem
+	cfg Config
+
+	steps     map[string]*stepState
+	stepCount int
+}
+
+// New builds the staging method.
+func New(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Method, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 8
+	}
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 4 * pfs.GB
+	}
+	if cfg.NodeIngestBW <= 0 {
+		cfg.NodeIngestBW = 1.5 * pfs.GB
+	}
+	if len(cfg.OSTs) == 0 {
+		cfg.OSTs = make([]int, len(fs.OSTs))
+		for i := range cfg.OSTs {
+			cfg.OSTs[i] = i
+		}
+	}
+	for _, o := range cfg.OSTs {
+		if o < 0 || o >= len(fs.OSTs) {
+			return nil, fmt.Errorf("staging: OST %d out of range", o)
+		}
+	}
+	return &Method{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}, nil
+}
+
+// Name implements iomethod.Method.
+func (m *Method) Name() string { return "STAGING" }
+
+// block is one rank's output staged on a node.
+type block struct {
+	rank    int
+	bytes   int64
+	entries []bp.VarEntry // offsets filled at drain time
+	data    iomethod.RankData
+}
+
+// node is one staging node's state.
+type node struct {
+	id      int
+	ingest  *simkernel.Resource // serialises transfers (NIC)
+	sem     *byteSem            // buffer space
+	queue   []*block
+	hasWork *simkernel.Signal
+	kick    func() // wakes the drainer
+}
+
+type stepState struct {
+	seq     int
+	res     *iomethod.StepResult
+	nodes   []*node
+	files   []*pfs.File
+	names   []string
+	setupWG *simkernel.WaitGroup
+	t0      simkernel.Time
+	t0Set   bool
+
+	offsets  []int64              // next write offset per drain file (reserved at dispatch)
+	inflight []int                // drains dispatched but not yet finished, per file
+	blocksWG *simkernel.WaitGroup // all data blocks on storage
+	drainWG  *simkernel.WaitGroup // blocks + index writes
+	locals   []bp.LocalIndex
+	returned int
+}
+
+func (m *Method) step(stepName string) *stepState {
+	st, ok := m.steps[stepName]
+	if !ok {
+		k := m.w.Kernel()
+		st = &stepState{
+			seq:      m.stepCount,
+			setupWG:  simkernel.NewWaitGroup(k),
+			blocksWG: simkernel.NewWaitGroup(k),
+			drainWG:  simkernel.NewWaitGroup(k),
+			res: &iomethod.StepResult{
+				WriterTimes: make([]float64, m.w.Size()),
+				Files:       m.cfg.Nodes,
+			},
+			nodes:    make([]*node, m.cfg.Nodes),
+			files:    make([]*pfs.File, m.cfg.Nodes),
+			names:    make([]string, m.cfg.Nodes),
+			locals:   make([]bp.LocalIndex, m.cfg.Nodes),
+			offsets:  make([]int64, m.cfg.Nodes),
+			inflight: make([]int, m.cfg.Nodes),
+		}
+		m.stepCount++
+		st.setupWG.Add(m.w.Size())
+		st.blocksWG.Add(m.w.Size())
+		st.drainWG.Add(m.w.Size() + m.cfg.Nodes) // blocks + index writes
+		for i := 0; i < m.cfg.Nodes; i++ {
+			st.nodes[i] = &node{
+				id:     i,
+				ingest: simkernel.NewResource(k, 1),
+				sem:    newByteSem(k, m.cfg.BufferBytes),
+			}
+			st.names[i] = fmt.Sprintf("%s.stage%03d.bp", stepName, i)
+		}
+		m.steps[stepName] = st
+	}
+	return st
+}
+
+// WriteStep implements iomethod.Method: transfer this rank's buffered data
+// to its staging node (blocking while the node's buffer is full — the
+// limited asynchronicity), then return. Drainers move the data to storage
+// in the background; StepResult.DrainElapsed records when the last byte
+// (and index) reached the file system.
+func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankData) (*iomethod.StepResult, error) {
+	st := m.step(stepName)
+	rank := r.Rank()
+	p := r.Proc()
+	nd := st.nodes[rank%len(st.nodes)]
+
+	// Untimed setup: rank 0 creates the per-node drain files and launches
+	// the drainers.
+	var setupErr error
+	if rank == 0 {
+		for i, nd := range st.nodes {
+			target := m.cfg.OSTs[i%len(m.cfg.OSTs)]
+			f, err := m.fs.Create(p, st.names[i], pfs.Layout{OSTs: []int{target}})
+			if err != nil {
+				setupErr = err
+				break
+			}
+			st.files[i] = f
+			m.spawnDrainer(st, nd, stepName)
+		}
+	}
+	st.setupWG.Done()
+	st.setupWG.Wait(p)
+	if setupErr != nil {
+		return nil, setupErr
+	}
+	if !st.t0Set {
+		st.t0 = p.Now()
+		st.t0Set = true
+	}
+
+	// Timed (application-blocking) phase: reserve buffer space, then
+	// transfer over the node's NIC, FIFO.
+	total := data.TotalBytes()
+	if float64(total) > m.cfg.BufferBytes {
+		return nil, fmt.Errorf("staging: rank %d block (%d bytes) exceeds node buffer (%.0f)",
+			rank, total, m.cfg.BufferBytes)
+	}
+	nd.sem.Acquire(p, float64(total))
+	nd.ingest.Acquire(p)
+	p.SleepSeconds(float64(total) / m.cfg.NodeIngestBW)
+	nd.ingest.Release()
+
+	blk := &block{rank: rank, bytes: total, data: data}
+	nd.queue = append(nd.queue, blk)
+	if nd.kick != nil {
+		nd.kick()
+	}
+
+	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
+	st.res.TotalBytes += float64(total)
+	if el := (p.Now() - st.t0).Seconds(); el > st.res.Elapsed {
+		st.res.Elapsed = el
+	}
+
+	st.returned++
+	if st.returned == m.w.Size() {
+		delete(m.steps, stepName)
+	}
+	return st.res, nil
+}
+
+// spawnDrainer launches node nd's background drain process.
+func (m *Method) spawnDrainer(st *stepState, nd *node, stepName string) {
+	k := m.w.Kernel()
+	k.Spawn(fmt.Sprintf("drainer-%s-%d", stepName, nd.id), func(p *simkernel.Proc) {
+		drained := 0
+		myShare := 0
+		for r := nd.id; r < m.w.Size(); r += len(st.nodes) {
+			myShare++
+		}
+		for drained < myShare {
+			if len(nd.queue) == 0 {
+				nd.kick = p.Waker()
+				p.Suspend()
+				nd.kick = nil
+				continue
+			}
+			blk := nd.queue[0]
+			nd.queue = nd.queue[1:]
+
+			fileIdx := nd.id
+			if m.cfg.Policy == DrainLeastLoaded {
+				fileIdx = m.leastLoadedFile(st)
+			}
+			f := st.files[fileIdx]
+			// Reserve the offset range before the (time-consuming) write so
+			// concurrent drainers targeting the same file cannot overlap.
+			entries, total := iomethod.BuildEntries(blk.rank, st.offsets[fileIdx], blk.data)
+			off := st.offsets[fileIdx]
+			st.offsets[fileIdx] += total
+			st.inflight[fileIdx]++
+			f.WriteAt(p, off, total)
+			st.inflight[fileIdx]--
+			nd.sem.Release(float64(blk.bytes))
+			st.locals[fileIdx].Entries = append(st.locals[fileIdx].Entries, entries...)
+			drained++
+			st.blocksWG.Done()
+			st.drainWG.Done()
+		}
+		// Wait for every block (other drainers may still be appending to
+		// this node's file under the least-loaded policy), then write this
+		// node's local index and close its file.
+		st.blocksWG.Wait(p)
+		li := &st.locals[nd.id]
+		li.File = st.names[nd.id]
+		li.Sort()
+		enc, err := li.Encode()
+		if err != nil {
+			panic(err)
+		}
+		f := st.files[nd.id]
+		f.Append(p, int64(len(enc)))
+		st.res.IndexBytes += float64(len(enc))
+		f.Flush(p)
+		f.Close(p)
+		st.drainWG.Done()
+		if st.drainWG.Count() == 0 {
+			g := &bp.GlobalIndex{Step: int64(st.seq), Locals: append([]bp.LocalIndex(nil), st.locals...)}
+			g.Sort()
+			st.res.Global = g
+			st.res.DrainElapsed = (p.Now() - st.t0).Seconds()
+		}
+	})
+}
+
+// leastLoadedFile picks the drain file whose target currently has the least
+// outstanding work (dirty cache bytes plus active flows, weighted).
+func (m *Method) leastLoadedFile(st *stepState) int {
+	best, bestLoad := 0, -1.0
+	for i, f := range st.files {
+		target := f.StripeOSTs()[0]
+		o := m.fs.OST(target)
+		// Outstanding work — dirty bytes, active flows, and drains already
+		// dispatched to this file but not yet visible as flows (the write
+		// latency window would otherwise herd every drainer onto the same
+		// "idle" target) — plus one nominal block so an idle slow target
+		// still scores worse than an idle fast one, divided by the
+		// target's current service factor.
+		load := o.CacheLevel() + float64(o.ActiveFlows()+st.inflight[i]+1)*32*pfs.MB
+		load /= o.SlowFactor()
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// byteSem is a FIFO byte-counting semaphore: Acquire blocks until the
+// requested bytes are free.
+type byteSem struct {
+	k       *simkernel.Kernel
+	free    float64
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	need float64
+	wake func()
+}
+
+func newByteSem(k *simkernel.Kernel, capacity float64) *byteSem {
+	return &byteSem{k: k, free: capacity}
+}
+
+// Acquire blocks p until n bytes are available, FIFO (head-of-line: later
+// smaller requests do not jump the queue, preserving fairness).
+func (s *byteSem) Acquire(p *simkernel.Proc, n float64) {
+	for len(s.waiters) > 0 || s.free < n {
+		s.waiters = append(s.waiters, semWaiter{need: n, wake: p.Waker()})
+		p.Suspend()
+		// On wake, our reservation was granted by Release.
+		return
+	}
+	s.free -= n
+}
+
+// Release returns n bytes and admits queued waiters in order while they
+// fit.
+func (s *byteSem) Release(n float64) {
+	s.free += n
+	for len(s.waiters) > 0 && s.waiters[0].need <= s.free {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.free -= w.need
+		w.wake()
+	}
+}
+
+// Free reports the available bytes (diagnostics).
+func (s *byteSem) Free() float64 { return s.free }
