@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -527,6 +528,58 @@ func BenchmarkMetadataStaggerStudy(b *testing.B) {
 	}
 	b.ReportMetric(ratioSum/float64(b.N), "burst-queue-peak")
 	b.ReportMetric(staggerSum/float64(b.N), "staggered-queue-peak")
+}
+
+// BenchmarkCampaignRunner measures the replica worker pool against the
+// sequential baseline on a Table I-shaped campaign (64 Jaguar hourly samples
+// plus the smaller series, 1/8 scale). The two sub-benchmarks produce
+// bit-identical results — only the wall clock differs — so ns/op(seq) over
+// ns/op(parallel) is the campaign speedup on this machine.
+func BenchmarkCampaignRunner(b *testing.B) {
+	campaign := func(b *testing.B, parallel int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			_, err := experiments.TableI(experiments.TableIOptions{
+				JaguarSamples:   64,
+				FranklinSamples: 16,
+				XTPSamples:      8,
+				ScaleOSTs:       8,
+				Seed:            int64(i),
+				Parallel:        parallel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { campaign(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { campaign(b, 0) })
+}
+
+// BenchmarkEvalGridRunner is the same comparison on a Section IV-shaped
+// grid: 2 methods × 2 conditions × 2 proc counts × 4 samples.
+func BenchmarkEvalGridRunner(b *testing.B) {
+	grid := func(b *testing.B, parallel int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			_, err := experiments.EvaluateWorkload(
+				workloads.Pixie3DGen(workloads.Pixie3DLarge), "runner-bench",
+				experiments.EvalOptions{
+					ProcCounts:   []int{128, 256},
+					Samples:      4,
+					MPIOSTs:      20,
+					AdaptiveOSTs: 64,
+					NumOSTs:      84,
+					Seed:         int64(i) * 13,
+					Parallel:     parallel,
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { grid(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { grid(b, 0) })
 }
 
 // BenchmarkAdaptiveStepOverhead measures the raw cost of simulating one

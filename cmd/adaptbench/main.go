@@ -12,6 +12,8 @@
 //
 // Scale knobs: -num-osts shrinks the simulated machine; -mpi-osts and
 // -adaptive-osts set the per-method target counts (paper: 160 and 512).
+// -parallel spreads the method × condition × procs × samples grid across a
+// replica worker pool (0 = all cores) with bit-identical results.
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		baseOnly   = flag.Bool("base-only", false, "skip the artificial-interference condition")
 		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
 		chart      = flag.Bool("chart", false, "also draw ASCII bar charts")
+		parallel   = flag.Int("parallel", 0, "replica workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 		AdaptiveOSTs: *adOSTs,
 		NumOSTs:      *numOSTs,
 		Seed:         *seed,
+		Parallel:     *parallel,
 	}
 	if *baseOnly {
 		eval.Conditions = []experiments.Condition{experiments.Base}

@@ -10,9 +10,11 @@
 //	iorsim -experiment fig2  [-samples 469] [-scale 1] [-bins 12]
 //	iorsim -experiment fig3  [-osts 512] [-avg-over 40]
 //
-// All experiments accept -seed. Reduced -osts / -scale runs preserve the
-// per-target ratios that drive every effect, so shapes persist at a
-// fraction of the cost.
+// All experiments accept -seed and -parallel (replica workers; 0 = all
+// cores). Reduced -osts / -scale runs preserve the per-target ratios that
+// drive every effect, so shapes persist at a fraction of the cost. Parallel
+// runs are bit-identical to sequential ones: every replica's world derives
+// from its grid coordinates, never from scheduling order.
 package main
 
 import (
@@ -40,16 +42,17 @@ func main() {
 		seed       = flag.Int64("seed", 42, "master seed")
 		noNoise    = flag.Bool("no-noise", false, "disable production background noise (fig1)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
+		parallel   = flag.Int("parallel", 0, "replica workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
 	switch *experiment {
 	case "fig1":
-		runFig1(*osts, *samples, *sizes, *ratios, *seed, *noNoise, *csv)
+		runFig1(*osts, *samples, *sizes, *ratios, *seed, *noNoise, *csv, *parallel)
 	case "table1", "fig2":
-		runTableI(*experiment, *samples, *scale, *bins, *seed, *csv)
+		runTableI(*experiment, *samples, *scale, *bins, *seed, *csv, *parallel)
 	case "fig3":
-		runFig3(*osts, *avgOver, *seed)
+		runFig3(*osts, *avgOver, *seed, *parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -77,14 +80,15 @@ func parseInts(s string) []int {
 	return out
 }
 
-func runFig1(osts, samples int, sizes, ratios string, seed int64, noNoise, csv bool) {
+func runFig1(osts, samples int, sizes, ratios string, seed int64, noNoise, csv bool, parallel int) {
 	opt := experiments.Fig1Options{
-		OSTs:    osts,
-		Ratios:  parseInts(ratios),
-		SizesMB: parseFloats(sizes),
-		Samples: samples,
-		Seed:    seed,
-		NoNoise: noNoise,
+		OSTs:     osts,
+		Ratios:   parseInts(ratios),
+		SizesMB:  parseFloats(sizes),
+		Samples:  samples,
+		Seed:     seed,
+		NoNoise:  noNoise,
+		Parallel: parallel,
 	}
 	fmt.Printf("# Figure 1 — internal interference (IOR, POSIX-IO, one file per writer)\n")
 	fmt.Printf("# OSTs=%d samples/point=%d noise=%v\n\n", opt.OSTs, orPaper(samples, 40), !noNoise)
@@ -109,13 +113,14 @@ func runFig1(osts, samples int, sizes, ratios string, seed int64, noNoise, csv b
 	}
 }
 
-func runTableI(which string, samples, scale, bins int, seed int64, csv bool) {
+func runTableI(which string, samples, scale, bins int, seed int64, csv bool, parallel int) {
 	opt := experiments.TableIOptions{
 		JaguarSamples:   samples,
 		FranklinSamples: samples,
 		XTPSamples:      samples,
 		ScaleOSTs:       scale,
 		Seed:            seed,
+		Parallel:        parallel,
 	}
 	res, err := experiments.TableI(opt)
 	if err != nil {
@@ -139,11 +144,12 @@ func runTableI(which string, samples, scale, bins int, seed int64, csv bool) {
 	}
 }
 
-func runFig3(osts, avgOver int, seed int64) {
+func runFig3(osts, avgOver int, seed int64, parallel int) {
 	res, err := experiments.Fig3(experiments.Fig3Options{
 		OSTs:        osts,
 		AverageOver: avgOver,
 		Seed:        seed,
+		Parallel:    parallel,
 	})
 	if err != nil {
 		fatal(err)

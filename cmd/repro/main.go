@@ -9,6 +9,10 @@
 //
 // Artifacts land in -out (default ./results): one .txt per table/figure
 // plus summary.txt with the headline comparisons.
+//
+// Campaigns run on a replica worker pool (-parallel, default all cores) with
+// results bit-identical to a sequential run; -seq-baseline additionally
+// reruns each driver on one worker and prints the measured speedup.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -69,10 +74,12 @@ func fullPreset(seed int64) preset {
 
 func main() {
 	var (
-		mode = flag.String("mode", "quick", "quick | full")
-		out  = flag.String("out", "results", "output directory")
-		seed = flag.Int64("seed", 42, "master seed")
-		only = flag.String("only", "", "comma list to restrict: fig1,table1,fig2,fig3,fig5,fig6,fig7")
+		mode     = flag.String("mode", "quick", "quick | full")
+		out      = flag.String("out", "results", "output directory")
+		seed     = flag.Int64("seed", 42, "master seed")
+		only     = flag.String("only", "", "comma list to restrict: fig1,table1,fig2,fig3,fig5,fig6,fig7")
+		parallel = flag.Int("parallel", 0, "replica workers per driver (0 = all cores, 1 = sequential)")
+		seqBase  = flag.Bool("seq-baseline", false, "rerun each driver sequentially and report the parallel speedup")
 	)
 	flag.Parse()
 
@@ -104,8 +111,12 @@ func main() {
 
 	// --- Section II ---
 	if sel("fig1") {
-		step("Figure 1 (internal interference grid)")
-		res, err := experiments.Fig1(p.fig1)
+		res, err := runTimed(&summary, "Figure 1 (internal interference grid)", *parallel, *seqBase,
+			func(par int) (*experiments.Fig1Result, error) {
+				o := p.fig1
+				o.Parallel = par
+				return experiments.Fig1(o)
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -118,6 +129,7 @@ func main() {
 		clean := p.fig1
 		clean.NoNoise = true
 		clean.Samples = 2
+		clean.Parallel = *parallel
 		cres, err := experiments.Fig1(clean)
 		if err != nil {
 			fatal(err)
@@ -135,9 +147,13 @@ func main() {
 
 	var t1 *experiments.TableIResult
 	if sel("table1") || sel("fig2") {
-		step("Table I (external interference variability)")
 		var err error
-		t1, err = experiments.TableI(p.table1)
+		t1, err = runTimed(&summary, "Table I (external interference variability)", *parallel, *seqBase,
+			func(par int) (*experiments.TableIResult, error) {
+				o := p.table1
+				o.Parallel = par
+				return experiments.TableI(o)
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -165,8 +181,12 @@ func main() {
 	}
 
 	if sel("fig3") {
-		step("Figure 3 (imbalanced concurrent writers)")
-		res, err := experiments.Fig3(p.fig3)
+		res, err := runTimed(&summary, "Figure 3 (imbalanced concurrent writers)", *parallel, *seqBase,
+			func(par int) (*experiments.Fig3Result, error) {
+				o := p.fig3
+				o.Parallel = par
+				return experiments.Fig3(o)
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -183,8 +203,12 @@ func main() {
 	// --- Section IV ---
 	var evalResults []*experiments.EvalResult
 	if sel("fig5") || sel("fig7") {
-		step("Figure 5 (Pixie3D, MPI-IO vs adaptive)")
-		panels, err := experiments.Fig5(experiments.Fig5Options{Eval: p.eval, Sizes: p.sizes})
+		panels, err := runTimed(&summary, "Figure 5 (Pixie3D, MPI-IO vs adaptive)", *parallel, *seqBase,
+			func(par int) (*experiments.Fig5Result, error) {
+				o := p.eval
+				o.Parallel = par
+				return experiments.Fig5(experiments.Fig5Options{Eval: o, Sizes: p.sizes})
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -203,8 +227,12 @@ func main() {
 		}
 	}
 	if sel("fig6") || sel("fig7") {
-		step("Figure 6 (XGC1, MPI-IO vs adaptive)")
-		er, err := experiments.Fig6(p.eval)
+		er, err := runTimed(&summary, "Figure 6 (XGC1, MPI-IO vs adaptive)", *parallel, *seqBase,
+			func(par int) (*experiments.EvalResult, error) {
+				o := p.eval
+				o.Parallel = par
+				return experiments.Fig6(o)
+			})
 		if err != nil {
 			fatal(err)
 		}
@@ -258,6 +286,46 @@ func parseSpeedup(s string) float64 {
 }
 
 func step(name string) { fmt.Println("==>", name) }
+
+// workersFor resolves the effective worker count the campaign runner uses
+// for a -parallel value.
+func workersFor(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// runTimed executes one driver at the configured parallelism and prints its
+// wall-clock time; with -seq-baseline it reruns the driver on one worker and
+// reports the observed speedup (the results are bit-identical by the
+// runner's determinism contract, so only the clock differs).
+func runTimed[T any](summary *strings.Builder, name string, parallel int, seqBaseline bool,
+	run func(parallel int) (T, error)) (T, error) {
+	step(name)
+	start := time.Now()
+	res, err := run(parallel)
+	if err != nil {
+		return res, err
+	}
+	par := time.Since(start)
+	w := workersFor(parallel)
+	if seqBaseline && w > 1 {
+		start = time.Now()
+		if _, err := run(1); err != nil {
+			return res, err
+		}
+		seq := time.Since(start)
+		fmt.Printf("    %.2fs on %d workers vs %.2fs sequential — %.2fx speedup\n",
+			par.Seconds(), w, seq.Seconds(), seq.Seconds()/par.Seconds())
+		fmt.Fprintf(summary, "timing %s: %.2fs on %d workers, %.2fs sequential (%.2fx)\n",
+			name, par.Seconds(), w, seq.Seconds(), seq.Seconds()/par.Seconds())
+	} else {
+		fmt.Printf("    %.2fs wall-clock on %d worker(s)\n", par.Seconds(), w)
+		fmt.Fprintf(summary, "timing %s: %.2fs on %d worker(s)\n", name, par.Seconds(), w)
+	}
+	return res, nil
+}
 
 func write(dir, name, content string) {
 	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

@@ -15,6 +15,11 @@
 //     index access and the restart-read path.
 //   - repro/metrics — result tables, figures, and histograms.
 //
+// Campaigns (many independent replicas of a simulation) run concurrently on
+// internal/runner's worker pool with results bit-identical to sequential
+// execution; all experiment drivers and CLIs expose this via Parallel
+// options and -parallel flags.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper (see DESIGN.md for the per-experiment index and
 // EXPERIMENTS.md for paper-vs-measured values); cmd/repro runs the whole

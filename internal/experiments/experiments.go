@@ -22,6 +22,7 @@ import (
 	"repro/adios"
 	"repro/cluster"
 	"repro/internal/iomethod"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -131,6 +132,27 @@ func RunCampaign(opt CampaignOptions) (CampaignResult, error) {
 		TotalBytes:  res.TotalBytes,
 		Adaptive:    res.AdaptiveWrites,
 	}, nil
+}
+
+// RunCampaigns executes a batch of independent campaigns on a worker pool
+// (parallel: 1 = sequential, <=0 = all cores) and returns their results in
+// input order, regardless of completion order. Each CampaignOptions must
+// carry its own Seed — typically derived via runner.ReplicaKey.Seed — since
+// every campaign is its own simulated world. On failure the earliest failed
+// campaign's error (in input order) is returned with its index attached.
+func RunCampaigns(opts []CampaignOptions, parallel int) ([]CampaignResult, error) {
+	keys := make([]runner.ReplicaKey, len(opts))
+	for i, o := range opts {
+		keys[i] = runner.ReplicaKey{
+			Driver: "campaign",
+			Point:  fmt.Sprintf("%s/%s/writers=%d", o.Method, o.Condition, o.Writers),
+			Sample: i,
+		}
+	}
+	byIndex := func(k runner.ReplicaKey) (CampaignResult, error) {
+		return RunCampaign(opts[k.Sample])
+	}
+	return runner.Run(runner.Options{Parallel: parallel}, keys, byIndex)
 }
 
 // firstN returns [0, 1, ..., n).

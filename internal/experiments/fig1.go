@@ -6,6 +6,7 @@ import (
 	"repro/cluster"
 	"repro/internal/ior"
 	"repro/internal/pfs"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/metrics"
 )
@@ -30,6 +31,10 @@ type Fig1Options struct {
 	// NoNoise disables production background noise (the paper measured on
 	// busy production Jaguar; noise supplies the error bars).
 	NoNoise bool
+	// Parallel bounds the replica worker pool (1 = sequential, <=0 = all
+	// cores). Results are bit-identical at every setting: each replica's
+	// world derives from its grid coordinates, not its scheduling order.
+	Parallel int
 }
 
 func (o *Fig1Options) defaults() {
@@ -72,6 +77,32 @@ func Fig1(opt Fig1Options) (*Fig1Result, error) {
 		},
 		Samples: map[string]map[int][]float64{},
 	}
+	// One replica per (size, ratio, sample) cell; the whole grid runs on the
+	// worker pool at once, then demuxes positionally back into series.
+	type cell struct {
+		sizeMB float64
+		ratio  int
+	}
+	var points []string
+	cells := map[string]cell{}
+	for _, sizeMB := range opt.SizesMB {
+		for _, ratio := range opt.Ratios {
+			p := fmt.Sprintf("size=%gMB/ratio=%d", sizeMB, ratio)
+			points = append(points, p)
+			cells[p] = cell{sizeMB: sizeMB, ratio: ratio}
+		}
+	}
+	keys := runner.Keys("fig1", points, opt.Samples)
+	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
+		func(k runner.ReplicaKey) (ior.Result, error) {
+			c := cells[k.Point]
+			return fig1Sample(opt, opt.OSTs*c.ratio, c.sizeMB*pfs.MB, k.Seed(opt.Seed))
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, sizeMB := range opt.SizesMB {
 		sizeName := fmt.Sprintf("%gMB", sizeMB)
 		res.Samples[sizeName] = map[int][]float64{}
@@ -82,11 +113,8 @@ func Fig1(opt Fig1Options) (*Fig1Result, error) {
 			writers := opt.OSTs * ratio
 			var aggSamples, pwSamples []float64
 			for s := 0; s < opt.Samples; s++ {
-				seed := opt.Seed + int64(s)*7919 + int64(ratio)*13 + int64(sizeMB)
-				r, err := fig1Sample(opt, writers, sizeMB*pfs.MB, seed)
-				if err != nil {
-					return nil, err
-				}
+				r := results[idx]
+				idx++
 				aggSamples = append(aggSamples, r.AggregateBW/pfs.GB)
 				pwSamples = append(pwSamples, r.MeanPerWriterBW()/pfs.MB)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/adios"
 	"repro/internal/pfs"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/metrics"
@@ -41,6 +42,10 @@ type EvalOptions struct {
 	// NumOSTs scales the simulated machine (0 = full Jaguar). MPIOSTs and
 	// AdaptiveOSTs are clamped to it.
 	NumOSTs int
+	// Parallel bounds the replica worker pool for the whole method ×
+	// condition × procs × samples grid (1 = sequential, <=0 = all cores).
+	// Campaign results are bit-identical at every setting.
+	Parallel int
 }
 
 func (o *EvalOptions) defaults() {
@@ -115,27 +120,52 @@ func EvaluateWorkload(gen workloads.Generator, title string, opt EvalOptions) (*
 		)
 	}
 
+	// The full method × condition × procs × samples grid is one replica set:
+	// every campaign is an independent simulated world keyed by its grid
+	// coordinates, so the pool runs them in any order and the demux below
+	// (positional, in canonical key order) rebuilds exactly the maps the
+	// sequential loops built.
+	type cell struct {
+		cs    caseSpec
+		procs int
+	}
+	var points []string
+	cells := map[string]cell{}
+	for _, cs := range cases {
+		for _, procs := range opt.ProcCounts {
+			p := fmt.Sprintf("%s/%s/procs=%d", cs.method, cs.cond, procs)
+			points = append(points, p)
+			cells[p] = cell{cs: cs, procs: procs}
+		}
+	}
+	keys := runner.Keys("eval/"+gen.Name, points, opt.Samples)
+	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
+		func(k runner.ReplicaKey) (CampaignResult, error) {
+			c := cells[k.Point]
+			return RunCampaign(CampaignOptions{
+				Machine:    "jaguar",
+				Writers:    c.procs,
+				Method:     c.cs.method,
+				MethodOSTs: c.cs.osts,
+				Condition:  c.cs.cond,
+				Seed:       k.Seed(opt.Seed),
+				PerRank:    gen.PerRank,
+				NumOSTs:    opt.NumOSTs,
+			})
+		})
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", gen.Name, err)
+	}
+
+	idx := 0
 	for _, cs := range cases {
 		series := metrics.Series{Name: fmt.Sprintf("%s-%s", cs.method, cs.cond)}
 		for _, procs := range opt.ProcCounts {
 			key := CaseKey{Method: cs.method, Condition: cs.cond, Procs: procs}
 			var bws []float64
 			for s := 0; s < opt.Samples; s++ {
-				seed := opt.Seed + int64(s)*7907 + int64(procs)*3 + int64(len(cs.method))
-				r, err := RunCampaign(CampaignOptions{
-					Machine:    "jaguar",
-					Writers:    procs,
-					Method:     cs.method,
-					MethodOSTs: cs.osts,
-					Condition:  cs.cond,
-					Seed:       seed,
-					PerRank:    gen.PerRank,
-					NumOSTs:    opt.NumOSTs,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("%s %s procs=%d sample=%d: %w",
-						cs.method, cs.cond, procs, s, err)
-				}
+				r := results[idx]
+				idx++
 				bwGB := r.AggregateBW / pfs.GB
 				bws = append(bws, bwGB)
 				res.ElapsedSamples[key] = append(res.ElapsedSamples[key], r.Elapsed)

@@ -6,6 +6,7 @@ import (
 
 	"repro/cluster"
 	"repro/internal/pfs"
+	"repro/internal/runner"
 	"repro/internal/simkernel"
 	"repro/internal/stats"
 	"repro/metrics"
@@ -23,6 +24,9 @@ type MetadataOptions struct {
 	// Staggers are the create-spacing values to sweep (0 = burst).
 	Staggers []time.Duration
 	Seed     int64
+	// Parallel bounds the replica worker pool (1 = sequential, <=0 = all
+	// cores); the open-storm samples are independent environments.
+	Parallel int
 }
 
 func (o *MetadataOptions) defaults() {
@@ -61,14 +65,35 @@ func MetadataStudy(opt MetadataOptions) (*MetadataResult, error) {
 		StormTimes: map[time.Duration][]float64{},
 		QueuePeaks: map[time.Duration][]int{},
 	}
+	// One replica per (stagger, sample); the whole sweep shares a pool.
+	type storm struct {
+		time float64
+		peak int
+	}
+	var points []string
+	byPoint := map[string]time.Duration{}
+	for _, stagger := range opt.Staggers {
+		p := stagger.String()
+		points = append(points, p)
+		byPoint[p] = stagger
+	}
+	keys := runner.Keys("metadata", points, opt.Samples)
+	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
+		func(k runner.ReplicaKey) (storm, error) {
+			t, peak, err := openStorm(opt.Writers, byPoint[k.Point], k.Seed(opt.Seed))
+			return storm{time: t, peak: peak}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, stagger := range opt.Staggers {
 		for s := 0; s < opt.Samples; s++ {
-			storm, peak, err := openStorm(opt.Writers, stagger, opt.Seed+int64(s)*211)
-			if err != nil {
-				return nil, err
-			}
-			res.StormTimes[stagger] = append(res.StormTimes[stagger], storm)
-			res.QueuePeaks[stagger] = append(res.QueuePeaks[stagger], peak)
+			r := results[idx]
+			idx++
+			res.StormTimes[stagger] = append(res.StormTimes[stagger], r.time)
+			res.QueuePeaks[stagger] = append(res.QueuePeaks[stagger], r.peak)
 		}
 		sum := stats.Summarize(res.StormTimes[stagger])
 		var peakSum float64

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ior"
 	"repro/internal/pfs"
 	"repro/internal/rngx"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/metrics"
 )
@@ -31,6 +32,10 @@ type TableIOptions struct {
 	// ScaleOSTs optionally scales each machine's target (and writer) count
 	// by this divisor for fast runs (0 or 1 = paper scale).
 	ScaleOSTs int
+	// Parallel bounds the replica worker pool (1 = sequential, <=0 = all
+	// cores). The hourly samples are independent environments, so results
+	// are bit-identical at every setting.
+	Parallel int
 }
 
 func (o *TableIOptions) defaults() {
@@ -82,55 +87,75 @@ func TableI(opt TableIOptions) (*TableIResult, error) {
 	type job struct {
 		name    string
 		samples int
-		run     func(sample int) (float64, []float64, error) // MB/s, writer times
+		run     func(seed int64) (float64, []float64, error) // MB/s, writer times
 	}
 	jobs := []job{
 		{
 			name:    "Jaguar",
 			samples: opt.JaguarSamples,
-			run: func(s int) (float64, []float64, error) {
+			run: func(seed int64) (float64, []float64, error) {
 				osts := 512 / opt.ScaleOSTs
-				return hourlyIOR("jaguar", osts, osts, opt.BytesPerWriter, opt.Seed+int64(s)*101, true)
+				return hourlyIOR("jaguar", osts, osts, opt.BytesPerWriter, seed, true)
 			},
 		},
 		{
 			name:    "Franklin",
 			samples: opt.FranklinSamples,
-			run: func(s int) (float64, []float64, error) {
+			run: func(seed int64) (float64, []float64, error) {
 				writers := 80 / opt.ScaleOSTs
 				if writers < 2 {
 					writers = 2
 				}
-				return hourlyIOR("franklin", 0, writers, opt.BytesPerWriter, opt.Seed+int64(s)*103, true)
+				return hourlyIOR("franklin", 0, writers, opt.BytesPerWriter, seed, true)
 			},
 		},
 		{
 			name:    "XTP(with Int.)",
 			samples: opt.XTPSamples,
-			run: func(s int) (float64, []float64, error) {
+			run: func(seed int64) (float64, []float64, error) {
 				writers, blades := xtpScale(opt.ScaleOSTs)
-				return xtpIOR(writers, blades, opt.BytesPerWriter, opt.Seed+int64(s)*107, true)
+				return xtpIOR(writers, blades, opt.BytesPerWriter, seed, true)
 			},
 		},
 		{
 			name:    "XTP(without Int.)",
 			samples: opt.XTPSamples,
-			run: func(s int) (float64, []float64, error) {
+			run: func(seed int64) (float64, []float64, error) {
 				writers, blades := xtpScale(opt.ScaleOSTs)
-				return xtpIOR(writers, blades, opt.BytesPerWriter, opt.Seed+int64(s)*109, false)
+				return xtpIOR(writers, blades, opt.BytesPerWriter, seed, false)
 			},
 		},
 	}
 
+	// The machines' hourly tests are all independent replicas; run every
+	// (machine, sample) pair on one worker pool and demux positionally.
+	type hourly struct {
+		bw    float64
+		times []float64
+	}
+	var keys []runner.ReplicaKey
+	byName := map[string]job{}
+	for _, j := range jobs {
+		byName[j.name] = j
+		keys = append(keys, runner.SampleKeys("table1", j.name, j.samples)...)
+	}
+	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
+		func(k runner.ReplicaKey) (hourly, error) {
+			bw, times, err := byName[k.Point].run(k.Seed(opt.Seed))
+			return hourly{bw: bw, times: times}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, j := range jobs {
 		ms := MachineSeries{Machine: j.name}
 		for s := 0; s < j.samples; s++ {
-			bw, times, err := j.run(s)
-			if err != nil {
-				return nil, fmt.Errorf("%s sample %d: %w", j.name, s, err)
-			}
-			ms.BWSamples = append(ms.BWSamples, bw)
-			ms.Imbalances = append(ms.Imbalances, stats.ImbalanceFactor(times))
+			r := results[idx]
+			idx++
+			ms.BWSamples = append(ms.BWSamples, r.bw)
+			ms.Imbalances = append(ms.Imbalances, stats.ImbalanceFactor(r.times))
 		}
 		ms.Summary = stats.Summarize(ms.BWSamples)
 		res.Series = append(res.Series, ms)
@@ -262,6 +287,9 @@ type Fig3Options struct {
 	// imbalance factor the paper reports.
 	AverageOver int
 	Seed        int64
+	// Parallel bounds the worker pool for the AverageOver replicas (the two
+	// headline tests share one environment and stay sequential).
+	Parallel int
 }
 
 func (o *Fig3Options) defaults() {
@@ -333,15 +361,22 @@ func Fig3(opt Fig3Options) (*Fig3Result, error) {
 		Imbalance2: r2.ImbalanceFactor,
 	}
 
+	factors, err := runner.Run(runner.Options{Parallel: opt.Parallel},
+		runner.SampleKeys("fig3", "imbalance", opt.AverageOver),
+		func(k runner.ReplicaKey) (float64, error) {
+			_, times, err := hourlyIOR("jaguar", opt.OSTs, opt.OSTs, opt.BytesPerWriter,
+				k.Seed(opt.Seed), true)
+			if err != nil {
+				return 0, err
+			}
+			return stats.ImbalanceFactor(times), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var acc stats.Accumulator
 	maxI := 0.0
-	for s := 0; s < opt.AverageOver; s++ {
-		_, times, err := hourlyIOR("jaguar", opt.OSTs, opt.OSTs, opt.BytesPerWriter,
-			opt.Seed+1000+int64(s)*131, true)
-		if err != nil {
-			return nil, err
-		}
-		f := stats.ImbalanceFactor(times)
+	for _, f := range factors {
 		acc.Add(f)
 		if f > maxI {
 			maxI = f

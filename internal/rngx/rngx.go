@@ -34,6 +34,37 @@ func NewNamed(seed int64, name string) *Source {
 	return New(seed ^ int64(h.Sum64()))
 }
 
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood): a bijective
+// avalanche mix in which every input bit affects roughly half the output
+// bits. It is the standard tool for turning structured counters into
+// well-spread seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps a master seed plus an ordered list of labels (driver name,
+// grid-point coordinates, sample index, ...) to a replica seed. Each label is
+// hashed independently and folded into a SplitMix64 chain, so nearby label
+// tuples — consecutive sample indices, permuted coordinates, or tuples whose
+// concatenations coincide — land on unrelated seeds. This replaces ad-hoc
+// affine formulas like seed + s*7907 + procs*3, whose images collide as soon
+// as two terms trade multiples of a shared factor.
+func DeriveSeed(master int64, labels ...string) int64 {
+	z := splitmix64(uint64(master))
+	for _, l := range labels {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(l))
+		// Hashing labels separately (rather than concatenating) keeps
+		// ("ab","c") and ("a","bc") on different chains; the sequential
+		// mixing makes label order significant.
+		z = splitmix64(z ^ h.Sum64())
+	}
+	return int64(z)
+}
+
 // Derive creates a child stream keyed by name, independent of the parent's
 // future draws.
 func (s *Source) Derive(name string) *Source {

@@ -2,6 +2,7 @@ package rngx
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -174,5 +175,93 @@ func TestPanicsOnInvalidParams(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestDeriveSeedDeterministicAndLabelSensitive(t *testing.T) {
+	a := DeriveSeed(42, "fig5", "mpi/base/procs=512", "3")
+	b := DeriveSeed(42, "fig5", "mpi/base/procs=512", "3")
+	if a != b {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	variants := []int64{
+		DeriveSeed(43, "fig5", "mpi/base/procs=512", "3"),
+		DeriveSeed(42, "fig1", "mpi/base/procs=512", "3"),
+		DeriveSeed(42, "fig5", "mpi/base/procs=512", "4"),
+		DeriveSeed(42, "fig5", "3", "mpi/base/procs=512"), // order matters
+		DeriveSeed(42, "fig5", "mpi/base/procs=5123"),     // concatenation differs
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Errorf("variant %d collided with base seed", i)
+		}
+	}
+}
+
+// TestDeriveSeedNoGridCollisions derives seeds across a campaign-shaped grid
+// far larger than any driver's (4 methods × 2 conditions × 16 proc counts ×
+// 512 samples = 65536 replicas) and requires them all distinct. The old
+// affine formula (seed + s*7907 + procs*3 + len(method)) collides on such
+// grids whenever s1*7907 + p1*3 == s2*7907 + p2*3.
+func TestDeriveSeedNoGridCollisions(t *testing.T) {
+	seen := make(map[int64][]string)
+	collisions := 0
+	for _, method := range []string{"MPI", "POSIX", "ADAPTIVE", "STAGING"} {
+		for _, cond := range []string{"base", "interference"} {
+			for procs := 1; procs <= 1<<16; procs *= 2 {
+				for s := 0; s < 512; s++ {
+					point := method + "/" + cond + "/procs=" + strconv.Itoa(procs)
+					seed := DeriveSeed(42, "eval", point, strconv.Itoa(s))
+					key := point + "#" + strconv.Itoa(s)
+					if prev, ok := seen[seed]; ok {
+						collisions++
+						t.Errorf("seed collision: %v and %s -> %d", prev, key, seed)
+					}
+					seen[seed] = append(seen[seed], key)
+				}
+			}
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d collisions in %d replicas", collisions, len(seen))
+	}
+}
+
+// TestDeriveSeedOldFormulaCollides documents the failure mode that motivated
+// DeriveSeed: the fig5-style affine seed formula assigns the same seed (hence
+// the same simulated environment) to distinct replicas.
+func TestDeriveSeedOldFormulaCollides(t *testing.T) {
+	old := func(seed int64, s, procs, methodLen int) int64 {
+		return seed + int64(s)*7907 + int64(procs)*3 + int64(methodLen)
+	}
+	// sample 3 at 512 procs vs sample 0 at 512+7907 procs (methodLen equal):
+	// 3*7907 + 512*3 == 0*7907 + (512+7907)*3.
+	if old(42, 3, 512, 3) != old(42, 0, 512+7907, 3) {
+		t.Fatal("expected demonstration collision in the old formula")
+	}
+	if DeriveSeed(42, "eval", "procs=512", "3") == DeriveSeed(42, "eval", "procs=8419", "0") {
+		t.Fatal("DeriveSeed reproduced the old formula's collision")
+	}
+}
+
+// TestDeriveSeedBitBalance checks output spreading: across consecutive
+// sample indices under one label prefix, every output bit should flip close
+// to half the time (a cheap avalanche/distribution proxy).
+func TestDeriveSeedBitBalance(t *testing.T) {
+	const n = 4096
+	var ones [64]int
+	for s := 0; s < n; s++ {
+		v := uint64(DeriveSeed(7, "table1", "Jaguar", strconv.Itoa(s)))
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b := 0; b < 64; b++ {
+		frac := float64(ones[b]) / n
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("bit %d set in %.1f%% of seeds, want ~50%%", b, 100*frac)
+		}
 	}
 }

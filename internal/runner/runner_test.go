@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rngx"
+)
+
+func testKeys(points, samples int) []ReplicaKey {
+	var pts []string
+	for p := 0; p < points; p++ {
+		pts = append(pts, fmt.Sprintf("point=%d", p))
+	}
+	return Keys("test", pts, samples)
+}
+
+func TestRunCollectsInKeyOrder(t *testing.T) {
+	keys := testKeys(8, 16)
+	for _, parallel := range []int{1, 2, 8, 64} {
+		got, err := Run(Options{Parallel: parallel}, keys, func(k ReplicaKey) (string, error) {
+			return k.String(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("parallel=%d: %d results for %d keys", parallel, len(got), len(keys))
+		}
+		for i, k := range keys {
+			if got[i] != k.String() {
+				t.Fatalf("parallel=%d: result %d = %q, want %q", parallel, i, got[i], k)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the core contract: replica
+// outputs derived from key seeds are bit-identical regardless of the worker
+// count, because seeds come from keys, never from scheduling order.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	keys := testKeys(6, 20)
+	replica := func(k ReplicaKey) (float64, error) {
+		src := rngx.New(k.Seed(42))
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			sum += src.Float64()
+		}
+		return sum, nil
+	}
+	seq, err := Run(Options{Parallel: 1}, keys, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4, 8} {
+		par, err := Run(Options{Parallel: parallel}, keys, replica)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("parallel=%d: replica %d diverged: %v vs %v",
+					parallel, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestRunReportsEarliestError(t *testing.T) {
+	keys := testKeys(4, 8)
+	boom := errors.New("boom")
+	_, err := Run(Options{Parallel: 8}, keys, func(k ReplicaKey) (int, error) {
+		if k.Sample >= 5 {
+			return 0, fmt.Errorf("%w at %s", boom, k)
+		}
+		return k.Sample, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T does not wrap *runner.Error", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("cause not unwrapped")
+	}
+	// The earliest failing key in input order is point=0 sample=5,
+	// regardless of which worker failed first on the clock.
+	if re.Key.Point != "point=0" || re.Key.Sample != 5 {
+		t.Fatalf("error key = %v, want point=0 sample 5", re.Key)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	keys := testKeys(1, 1000)
+	var ran atomic.Int64
+	_, err := Run(Options{Parallel: 2, Context: ctx}, keys, func(k ReplicaKey) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", n)
+	}
+}
+
+func TestRunProgressMonotonic(t *testing.T) {
+	keys := testKeys(4, 25)
+	var calls int
+	last := 0
+	_, err := Run(Options{
+		Parallel: 8,
+		Progress: func(done, total int, k ReplicaKey) {
+			calls++
+			if total != len(keys) {
+				t.Errorf("total = %d, want %d", total, len(keys))
+			}
+			if done != last+1 {
+				t.Errorf("done jumped %d -> %d", last, done)
+			}
+			last = done
+		},
+	}, keys, func(k ReplicaKey) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(keys) {
+		t.Fatalf("progress calls = %d, want %d", calls, len(keys))
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	out, err := Run(Options{}, nil, func(k ReplicaKey) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty run: %v, %v", out, err)
+	}
+	// Parallel<=0 defaults to GOMAXPROCS and must still work.
+	out, err = Run(Options{Parallel: -3}, testKeys(2, 2), func(k ReplicaKey) (int, error) {
+		return k.Sample, nil
+	})
+	if err != nil || len(out) != 4 {
+		t.Fatalf("default-parallel run: %v, %v", out, err)
+	}
+}
+
+func TestKeysCanonicalOrder(t *testing.T) {
+	keys := Keys("d", []string{"a", "b"}, 2)
+	want := []ReplicaKey{
+		{"d", "a", 0}, {"d", "a", 1},
+		{"d", "b", 0}, {"d", "b", 1},
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("len = %d", len(keys))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+	one := SampleKeys("d", "a", 3)
+	if len(one) != 3 || one[2] != (ReplicaKey{"d", "a", 2}) {
+		t.Fatalf("SampleKeys = %v", one)
+	}
+}
+
+func TestReplicaKeySeedsDistinct(t *testing.T) {
+	seen := map[int64]ReplicaKey{}
+	for _, k := range testKeys(32, 64) {
+		s := k.Seed(42)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("keys %v and %v share seed %d", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
