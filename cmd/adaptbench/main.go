@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/workloads"
 )
 
@@ -41,8 +42,20 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
 		chart      = flag.Bool("chart", false, "also draw ASCII bar charts")
 		parallel   = flag.Int("parallel", 0, "replica workers (0 = all cores, 1 = sequential)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	eval := experiments.EvalOptions{
 		ProcCounts:   parseInts(*procsStr),

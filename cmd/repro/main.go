@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/workloads"
 	"repro/metrics"
 )
@@ -80,8 +81,20 @@ func main() {
 		only     = flag.String("only", "", "comma list to restrict: fig1,table1,fig2,fig3,fig5,fig6,fig7")
 		parallel = flag.Int("parallel", 0, "replica workers per driver (0 = all cores, 1 = sequential)")
 		seqBase  = flag.Bool("seq-baseline", false, "rerun each driver sequentially and report the parallel speedup")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var p preset
 	switch *mode {

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -60,19 +61,29 @@ type LocalIndex struct {
 	Entries []VarEntry
 }
 
+// byNameRankOffset implements the canonical entry order on the concrete
+// slice type. sort.Sort and sort.Slice run the same algorithm, but the
+// interface form skips the reflection-based swapper, which showed up in
+// figure-scale profiles (entries are 64-byte records).
+type byNameRankOffset []VarEntry
+
+func (s byNameRankOffset) Len() int      { return len(s) }
+func (s byNameRankOffset) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byNameRankOffset) Less(i, j int) bool {
+	a, b := &s[i], &s[j]
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.WriterRank != b.WriterRank {
+		return a.WriterRank < b.WriterRank
+	}
+	return a.Offset < b.Offset
+}
+
 // Sort orders entries by (Name, WriterRank, Offset), the canonical order a
 // sub-coordinator establishes before writing the index.
 func (li *LocalIndex) Sort() {
-	sort.Slice(li.Entries, func(i, j int) bool {
-		a, b := li.Entries[i], li.Entries[j]
-		if a.Name != b.Name {
-			return a.Name < b.Name
-		}
-		if a.WriterRank != b.WriterRank {
-			return a.WriterRank < b.WriterRank
-		}
-		return a.Offset < b.Offset
-	})
+	sort.Sort(byNameRankOffset(li.Entries))
 }
 
 // TotalBytes sums the data bytes the index covers.
@@ -160,16 +171,21 @@ func (g *GlobalIndex) NumEntries() int {
 }
 
 // --- encoding ---
+//
+// Encoding appends directly to a byte slice sized up front from the
+// indices' EncodedSize arithmetic. The byte layout is identical to what the
+// original encoding/binary.Write implementation produced (fixed-width
+// little-endian); only the reflection and intermediate buffers are gone —
+// index encoding sat inside every collective close and dominated its
+// profile. Decoding keeps the reader-based form: it runs once per read-back
+// and its error handling benefits from io.Reader framing.
 
-func writeString(w io.Writer, s string) error {
+func appendString(b []byte, s string) ([]byte, error) {
 	if len(s) > maxStringLen {
-		return fmt.Errorf("bp: string too long (%d)", len(s))
+		return nil, fmt.Errorf("bp: string too long (%d)", len(s))
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
-		return err
-	}
-	_, err := w.Write([]byte(s))
-	return err
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...), nil
 }
 
 func readString(r io.Reader) (string, error) {
@@ -187,17 +203,21 @@ func readString(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
-func writeEntry(w io.Writer, e *VarEntry) error {
-	if err := writeString(w, e.Name); err != nil {
-		return err
+func appendEntry(b []byte, e *VarEntry) ([]byte, error) {
+	b, err := appendString(b, e.Name)
+	if err != nil {
+		return nil, err
 	}
-	fixed := []any{e.WriterRank, e.Offset, e.Length, e.Min, e.Max, uint32(len(e.Dims))}
-	for _, v := range fixed {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.WriterRank))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Offset))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Length))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Min))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Max))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Dims)))
+	for _, d := range e.Dims {
+		b = binary.LittleEndian.AppendUint64(b, d)
 	}
-	return binary.Write(w, binary.LittleEndian, e.Dims)
+	return b, nil
 }
 
 func readEntry(r io.Reader) (VarEntry, error) {
@@ -224,27 +244,35 @@ func readEntry(r io.Reader) (VarEntry, error) {
 	return e, nil
 }
 
-// Encode serialises the local index.
-func (li *LocalIndex) Encode() ([]byte, error) {
-	var b bytes.Buffer
-	if err := binary.Write(&b, binary.LittleEndian, MagicLocal); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&b, binary.LittleEndian, Version); err != nil {
-		return nil, err
-	}
-	if err := writeString(&b, li.File); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&b, binary.LittleEndian, uint32(len(li.Entries))); err != nil {
-		return nil, err
-	}
+// encodedSize is the exact byte length appendTo will produce.
+func (li *LocalIndex) encodedSize() int {
+	n := 4 + 2 + 4 + len(li.File) + 4
 	for i := range li.Entries {
-		if err := writeEntry(&b, &li.Entries[i]); err != nil {
+		n += li.Entries[i].EncodedSize()
+	}
+	return n
+}
+
+// appendTo serialises the local index onto b.
+func (li *LocalIndex) appendTo(b []byte) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint32(b, MagicLocal)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b, err := appendString(b, li.File)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(li.Entries)))
+	for i := range li.Entries {
+		if b, err = appendEntry(b, &li.Entries[i]); err != nil {
 			return nil, err
 		}
 	}
-	return b.Bytes(), nil
+	return b, nil
+}
+
+// Encode serialises the local index.
+func (li *LocalIndex) Encode() ([]byte, error) {
+	return li.appendTo(make([]byte, 0, li.encodedSize()))
 }
 
 // DecodeLocal parses a local index from data.
@@ -288,30 +316,24 @@ func DecodeLocal(data []byte) (*LocalIndex, error) {
 // Encode serialises the global index (sorting it canonically first).
 func (g *GlobalIndex) Encode() ([]byte, error) {
 	g.Sort()
-	var b bytes.Buffer
-	if err := binary.Write(&b, binary.LittleEndian, MagicGlobal); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&b, binary.LittleEndian, Version); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&b, binary.LittleEndian, g.Step); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&b, binary.LittleEndian, uint32(len(g.Locals))); err != nil {
-		return nil, err
-	}
+	size := 4 + 2 + 8 + 4
 	for i := range g.Locals {
-		enc, err := g.Locals[i].Encode()
-		if err != nil {
-			return nil, err
-		}
-		if err := binary.Write(&b, binary.LittleEndian, uint64(len(enc))); err != nil {
-			return nil, err
-		}
-		b.Write(enc)
+		size += 8 + g.Locals[i].encodedSize()
 	}
-	return b.Bytes(), nil
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, MagicGlobal)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = binary.LittleEndian.AppendUint64(b, uint64(g.Step))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(g.Locals)))
+	for i := range g.Locals {
+		li := &g.Locals[i]
+		b = binary.LittleEndian.AppendUint64(b, uint64(li.encodedSize()))
+		var err error
+		if b, err = li.appendTo(b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // DecodeGlobal parses a global index from data.

@@ -108,8 +108,9 @@ func RunCampaign(opt CampaignOptions) (CampaignResult, error) {
 
 	var res *adios.StepResult
 	var stepErr error
+	stepName := fmt.Sprintf("%s.out", opt.Method)
 	j := w.Launch(func(r *cluster.Rank) {
-		f := io.Open(r, fmt.Sprintf("%s.out", opt.Method))
+		f := io.Open(r, stepName)
 		f.WriteData(opt.PerRank(r.Rank()))
 		rr, err := f.Close()
 		if err != nil {

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// Golden-checksum regression tests: each driver below runs a fixed-seed
+// scaled-down campaign and hashes every raw sample (exact float64 bits) plus
+// the rendered artifact. The pinned digests were captured before the
+// allocation-free kernel/pfs rework; any optimization that perturbs event
+// ordering or floating-point evaluation order fails these tests loudly
+// instead of silently shifting the paper's tables and figures.
+//
+// If a change is *supposed* to alter simulation results, rerun with
+//	go test ./internal/experiments -run TestGolden -v
+// and update the constants from the failure output.
+
+const (
+	goldenFig1Digest   = "61971c8263cabb7a6ca26c06b96fc8db383743a1577b8c48a58071573e46aea6"
+	goldenTableIDigest = "ea644d461215ae0a8e944b3edaefd2bbb1b6cdf10d988ba60ede438d75cba782"
+	goldenFig5Digest   = "ef845f8698e987f375cb7d79d362634781a3b97ea767ee672406429d4d5287e3"
+)
+
+func hashFloats(h hash.Hash, xs []float64) {
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		h.Write(b[:])
+	}
+}
+
+func hashInts(h hash.Hash, xs []int) {
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		h.Write(b[:])
+	}
+}
+
+func hashString(h hash.Hash, s string) {
+	hashInts(h, []int{len(s)})
+	h.Write([]byte(s))
+}
+
+func TestGoldenFig1Checksum(t *testing.T) {
+	opt := Fig1Options{
+		OSTs:    8,
+		Ratios:  []int{1, 4, 16},
+		SizesMB: []float64{8, 128},
+		Samples: 3,
+		Seed:    2010,
+	}
+	res, err := Fig1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, sizeMB := range opt.SizesMB {
+		sizeName := sizeNameOf(sizeMB)
+		for _, ratio := range opt.Ratios {
+			hashString(h, sizeName)
+			hashInts(h, []int{ratio})
+			hashFloats(h, res.Samples[sizeName][ratio])
+		}
+	}
+	hashString(h, res.Aggregate.Render())
+	hashString(h, res.PerWriter.Render())
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenFig1Digest {
+		t.Fatalf("Fig1 golden checksum changed:\n got %s\nwant %s\n"+
+			"simulation outputs are no longer bit-identical to the pinned baseline", got, goldenFig1Digest)
+	}
+}
+
+// sizeNameOf mirrors Fig1's series naming so sample lookup stays in sync.
+func sizeNameOf(sizeMB float64) string {
+	return fmt.Sprintf("%gMB", sizeMB)
+}
+
+func TestGoldenTableIChecksum(t *testing.T) {
+	res, err := TableI(TableIOptions{
+		JaguarSamples:   8,
+		FranklinSamples: 6,
+		XTPSamples:      4,
+		ScaleOSTs:       16,
+		Seed:            2010,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, s := range res.Series {
+		hashString(h, s.Machine)
+		hashFloats(h, s.BWSamples)
+		hashFloats(h, s.Imbalances)
+	}
+	hashString(h, res.Table.Render())
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenTableIDigest {
+		t.Fatalf("Table I golden checksum changed:\n got %s\nwant %s\n"+
+			"simulation outputs are no longer bit-identical to the pinned baseline", got, goldenTableIDigest)
+	}
+}
+
+func TestGoldenFig5Checksum(t *testing.T) {
+	res, err := EvaluateWorkload(
+		workloads.Pixie3DGen(workloads.Pixie3DSmall), "golden",
+		EvalOptions{
+			ProcCounts:   []int{32, 64},
+			Samples:      2,
+			MPIOSTs:      4,
+			AdaptiveOSTs: 16,
+			NumOSTs:      16,
+			Seed:         2010,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]CaseKey, 0, len(res.BWSamples))
+	for k := range res.BWSamples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Condition != b.Condition {
+			return a.Condition < b.Condition
+		}
+		return a.Procs < b.Procs
+	})
+	h := sha256.New()
+	for _, k := range keys {
+		hashString(h, string(k.Method))
+		hashString(h, string(k.Condition))
+		hashInts(h, []int{k.Procs})
+		hashFloats(h, res.BWSamples[k])
+		hashFloats(h, res.ElapsedSamples[k])
+		hashInts(h, res.AdaptiveCounts[k])
+	}
+	hashString(h, res.Figure.Render())
+	if got := hex.EncodeToString(h.Sum(nil)); got != goldenFig5Digest {
+		t.Fatalf("Fig5 golden checksum changed:\n got %s\nwant %s\n"+
+			"simulation outputs are no longer bit-identical to the pinned baseline", got, goldenFig5Digest)
+	}
+}

@@ -110,18 +110,27 @@ type Factory func(w *mpisim.World, fs *pfs.FileSystem) (Method, error)
 // contiguously starting at offset, returning the entries and the total
 // bytes consumed.
 func BuildEntries(rank int, offset int64, data RankData) ([]bp.VarEntry, int64) {
-	entries := make([]bp.VarEntry, 0, len(data.Vars))
-	cur := offset
+	entries := make([]bp.VarEntry, len(data.Vars))
+	// The Dims copies share one backing array: two allocations per rank per
+	// step instead of one per variable (entries keep their own copy so the
+	// index stays valid however the caller reuses the spec).
+	nDims := 0
 	for _, v := range data.Vars {
-		entries = append(entries, bp.VarEntry{
+		nDims += len(v.Dims)
+	}
+	dims := make([]uint64, 0, nDims)
+	cur := offset
+	for i, v := range data.Vars {
+		dims = append(dims, v.Dims...)
+		entries[i] = bp.VarEntry{
 			Name:       v.Name,
 			WriterRank: int32(rank),
 			Offset:     cur,
 			Length:     v.Bytes,
-			Dims:       append([]uint64(nil), v.Dims...),
+			Dims:       dims[len(dims)-len(v.Dims):],
 			Min:        v.Min,
 			Max:        v.Max,
-		})
+		}
 		cur += v.Bytes
 	}
 	return entries, cur - offset

@@ -12,7 +12,9 @@ import (
 // constant rate integration.
 const completionEps = 1e-3
 
-// flow is one in-progress write stream on an OST.
+// flow is one in-progress write stream on an OST. Completed flows are
+// recycled through the OST's free list, so steady-state write traffic does
+// not allocate.
 type flow struct {
 	remaining float64 // bytes left to ingest
 	rate      float64 // current ingest rate, bytes/sec
@@ -46,8 +48,9 @@ type OST struct {
 	k   *simkernel.Kernel
 	cfg *Config
 
-	flows   []*flow
-	waiters []flushWaiter
+	flows     []*flow
+	freeFlows []*flow // recycled flow records
+	waiters   []flushWaiter
 
 	// External interference knobs (driven by the interference package).
 	extStreams   int     // competing external write streams on this target
@@ -62,14 +65,34 @@ type OST struct {
 	effCache      float64 // cache capacity available to us (shrinks under external load)
 	lastUpdate    simkernel.Time
 
-	boundary *simkernel.Timer
+	boundary   simkernel.Timer
+	onBoundary func() // cached boundary callback, built once
+
+	// Replan cache: planValid is invalidated by any membership or knob
+	// change; while it holds and the cache-full regime is unchanged, a
+	// boundary event reuses the planned rates instead of re-running the
+	// water-fill (the common case for flush-watermark boundaries).
+	planValid     bool
+	planCacheFull bool
+	planInflow    float64 // sum of planned per-flow rates
+
+	// Water-fill scratch buffers, owned by the OST so replanning under
+	// mixed per-flow caps stays allocation-free.
+	rateScratch  []float64
+	unsatScratch []int
 
 	Stats OSTStats
 }
 
 func newOST(k *simkernel.Kernel, cfg *Config, id int) *OST {
-	return &OST{ID: id, k: k, cfg: cfg, slowFactor: 1, ingestFactor: 1,
+	o := &OST{ID: id, k: k, cfg: cfg, slowFactor: 1, ingestFactor: 1,
 		effCache: cfg.CacheBytes, lastUpdate: k.Now()}
+	o.onBoundary = func() {
+		o.boundary = simkernel.Timer{}
+		o.advance()
+		o.recompute()
+	}
+	return o
 }
 
 // ExternalStreams returns the current external competing stream count.
@@ -96,6 +119,7 @@ func (o *OST) SetIngestFactor(f float64) {
 	}
 	o.advance()
 	o.ingestFactor = f
+	o.planValid = false
 	o.recompute()
 }
 
@@ -120,6 +144,7 @@ func (o *OST) SetExternalStreams(m int) {
 	}
 	o.advance()
 	o.extStreams = m
+	o.planValid = false
 	o.recompute()
 }
 
@@ -137,6 +162,7 @@ func (o *OST) SetSlowFactor(s float64) {
 	}
 	o.advance()
 	o.slowFactor = s
+	o.planValid = false
 	o.recompute()
 }
 
@@ -152,8 +178,16 @@ func (o *OST) StartWrite(bytes float64, streamCap float64, done func()) {
 		streamCap = o.cfg.ClientCap
 	}
 	o.advance()
-	f := &flow{remaining: bytes, cap: streamCap, done: done}
+	var f *flow
+	if n := len(o.freeFlows); n > 0 {
+		f = o.freeFlows[n-1]
+		o.freeFlows = o.freeFlows[:n-1]
+		*f = flow{remaining: bytes, cap: streamCap, done: done}
+	} else {
+		f = &flow{remaining: bytes, cap: streamCap, done: done}
+	}
 	o.flows = append(o.flows, f)
+	o.planValid = false
 	o.Stats.WritesStarted++
 	if len(o.flows) > o.Stats.MaxConcurrency {
 		o.Stats.MaxConcurrency = len(o.flows)
@@ -196,7 +230,8 @@ func (o *OST) effDisk(streams int) float64 { return o.cfg.DiskEff.Eval(streams) 
 func (o *OST) effNet(streams int) float64 { return o.cfg.NetEff.Eval(streams) }
 
 // plan computes, from current membership, the per-flow ingest rates and the
-// drain rate. It returns (sumInflow, drain).
+// drain rate. It returns (sumInflow, drain) and records the plan signature
+// so unchanged boundary events can skip the next full replan.
 func (o *OST) plan() (sumInflow, drain float64) {
 	n := len(o.flows)
 	m := o.extStreams
@@ -221,7 +256,11 @@ func (o *OST) plan() (sumInflow, drain float64) {
 	// for writes that would otherwise be cache-absorbed.
 	o.effCache = o.cfg.CacheBytes / float64(1+m)
 
+	o.planValid = true
+	o.planCacheFull = o.cacheLevel >= o.effCache-completionEps
+
 	if n == 0 {
+		o.planInflow = 0
 		if o.cacheLevel > 0 {
 			return 0, ourDisk
 		}
@@ -233,35 +272,67 @@ func (o *OST) plan() (sumInflow, drain float64) {
 	ing := o.cfg.IngestBW * o.effNet(streams) * o.ingestFactor
 	ourIngest := ing * float64(n) / float64(n+m)
 
-	cacheFull := o.cacheLevel >= o.effCache-completionEps
 	budget := ourIngest
-	if cacheFull {
+	if o.planCacheFull {
 		// Cache cannot absorb: inflow throttles to the drain rate.
 		budget = math.Min(ourIngest, ourDisk)
 	}
 
-	// Fair-share the budget across flows, respecting per-stream caps with
-	// iterative water-filling (capped flows release budget to others). The
-	// ingest factor throttles individual streams too.
-	rates := waterFillFactor(o.flows, budget, o.ingestFactor)
-	for i, f := range o.flows {
-		f.rate = rates[i]
-		sumInflow += rates[i]
+	// Fair-share the budget across flows, respecting per-stream caps. The
+	// overwhelmingly common case — every flow at the same cap (the
+	// configured ClientCap) — has the closed form min(cap, budget/n) and
+	// needs no water-filling iteration at all.
+	uniform := true
+	cap0 := o.flows[0].cap
+	for _, f := range o.flows[1:] {
+		if f.cap != cap0 {
+			uniform = false
+			break
+		}
 	}
+	if uniform {
+		share := budget / float64(n)
+		r := cap0 * o.ingestFactor
+		if r > share {
+			r = share
+		}
+		for _, f := range o.flows {
+			f.rate = r
+			sumInflow += r
+		}
+	} else {
+		rates := o.waterFillScratch(budget, o.ingestFactor)
+		for i, f := range o.flows {
+			f.rate = rates[i]
+			sumInflow += rates[i]
+		}
+	}
+	o.planInflow = sumInflow
 	return sumInflow, ourDisk
 }
 
-// waterFill distributes budget across flows subject to per-flow caps.
-func waterFill(flows []*flow, budget float64) []float64 {
-	return waterFillFactor(flows, budget, 1)
+// waterFillScratch distributes budget across the OST's flows subject to
+// per-flow caps (scaled by capFactor), using iterative water-filling — capped
+// flows release budget to others. Results land in the OST-owned scratch
+// buffer, so replanning allocates nothing once the buffers have grown to the
+// peak flow count.
+func (o *OST) waterFillScratch(budget float64, capFactor float64) []float64 {
+	n := len(o.flows)
+	if cap(o.rateScratch) < n {
+		o.rateScratch = make([]float64, n)
+		o.unsatScratch = make([]int, n)
+	}
+	rates := o.rateScratch[:n]
+	unsat := o.unsatScratch[:0]
+	waterFillInto(rates, unsat, o.flows, budget, capFactor)
+	return rates
 }
 
-// waterFillFactor is waterFill with each flow's cap scaled by capFactor.
-func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64 {
-	rates := make([]float64, len(flows))
-	capOf := func(i int) float64 { return flows[i].cap * capFactor }
+// waterFillInto is the water-filling loop shared by the OST fast path and
+// the package tests. rates must have len(flows) entries; unsat must be an
+// empty slice with capacity for len(flows) entries (or it will grow).
+func waterFillInto(rates []float64, unsat []int, flows []*flow, budget float64, capFactor float64) {
 	remainingBudget := budget
-	unsat := make([]int, 0, len(flows))
 	for i := range flows {
 		unsat = append(unsat, i)
 	}
@@ -270,9 +341,9 @@ func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64
 		progressed := false
 		next := unsat[:0]
 		for _, i := range unsat {
-			if capOf(i) <= share {
-				rates[i] = capOf(i)
-				remainingBudget -= capOf(i)
+			if c := flows[i].cap * capFactor; c <= share {
+				rates[i] = c
+				remainingBudget -= c
 				progressed = true
 			} else {
 				next = append(next, i)
@@ -287,6 +358,14 @@ func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64
 			break
 		}
 	}
+}
+
+// waterFillFactor distributes budget across flows subject to per-flow caps
+// scaled by capFactor, allocating fresh result buffers (the OST hot path
+// uses waterFillScratch instead).
+func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64 {
+	rates := make([]float64, len(flows))
+	waterFillInto(rates, make([]int, 0, len(flows)), flows, budget, capFactor)
 	return rates
 }
 
@@ -341,18 +420,24 @@ func (o *OST) fireCompletions() {
 	for _, f := range o.flows {
 		if f.remaining <= completionEps {
 			o.Stats.WritesFinished++
-			if f.done != nil {
-				f.done()
+			done := f.done
+			*f = flow{}
+			o.freeFlows = append(o.freeFlows, f)
+			if done != nil {
+				done()
 			}
 		} else {
 			keep = append(keep, f)
 		}
 	}
-	// Zero out the tail so completed flows can be collected.
-	for i := len(keep); i < len(o.flows); i++ {
-		o.flows[i] = nil
+	if len(keep) != len(o.flows) {
+		o.planValid = false
+		// Zero out the tail so recycled flows are not doubly referenced.
+		for i := len(keep); i < len(o.flows); i++ {
+			o.flows[i] = nil
+		}
+		o.flows = keep
 	}
-	o.flows = keep
 
 	if len(o.waiters) > 0 {
 		keepW := o.waiters[:0]
@@ -370,14 +455,21 @@ func (o *OST) fireCompletions() {
 }
 
 // recompute re-plans rates and schedules the next boundary event. Must be
-// called after advance whenever membership or load changed.
+// called after advance whenever membership or load changed. When the plan
+// signature is intact — no membership or knob change since the last plan and
+// the cache-full regime unchanged — the planned rates are reused and only
+// the next boundary is recomputed (flush-watermark boundaries and no-op
+// wakeups hit this path).
 func (o *OST) recompute() {
-	if o.boundary != nil {
-		o.boundary.Cancel()
-		o.boundary = nil
-	}
+	o.boundary.Cancel()
+	o.boundary = simkernel.Timer{}
 
-	sumInflow, drain := o.plan()
+	var sumInflow, drain float64
+	if o.planValid && o.planCacheFull == (o.cacheLevel >= o.effCache-completionEps) {
+		sumInflow, drain = o.planInflow, o.drainRate
+	} else {
+		sumInflow, drain = o.plan()
+	}
 	// Effective drain is limited by what is available (dirty + inflow).
 	o.drainRate = drain
 
@@ -435,11 +527,7 @@ func (o *OST) recompute() {
 	if next < 1e-9 {
 		next = 1e-9
 	}
-	o.boundary = o.k.AfterSeconds(next, func() {
-		o.boundary = nil
-		o.advance()
-		o.recompute()
-	})
+	o.boundary = o.k.AfterSeconds(next, o.onBoundary)
 }
 
 // String renders a compact diagnostic view.

@@ -218,6 +218,11 @@ func TestEffCurve(t *testing.T) {
 	}
 }
 
+// waterFill is a test convenience: waterFillFactor with no cap scaling.
+func waterFill(flows []*flow, budget float64) []float64 {
+	return waterFillFactor(flows, budget, 1)
+}
+
 func TestWaterFill(t *testing.T) {
 	mk := func(caps ...float64) []*flow {
 		fl := make([]*flow, len(caps))

@@ -1,0 +1,73 @@
+package pfs
+
+import (
+	"testing"
+
+	"repro/internal/simkernel"
+)
+
+// stormRig drives rounds of concurrent writes against one OST with a fixed
+// set of long-lived writer processes. Each round wakes every writer through
+// its cached waker; a writer performs one Write (join the fluid model,
+// trigger replans, complete) and parks again. After the first round the
+// flow pool, the water-fill scratch buffers, and the kernel's event pool
+// are all warm, so a round exercises the entire write/replan/complete cycle
+// without allocating.
+type stormRig struct {
+	k      *simkernel.Kernel
+	wakers []func()
+}
+
+func newStormRig(writers int) *stormRig {
+	k := simkernel.New()
+	cfg := flatConfig()
+	cfg.ClientCap = 400
+	fs := MustNew(k, cfg)
+	ost := fs.OST(0)
+	r := &stormRig{k: k, wakers: make([]func(), writers)}
+	for w := 0; w < writers; w++ {
+		w := w
+		k.Spawn("storm", func(p *simkernel.Proc) {
+			r.wakers[w] = p.Waker()
+			for {
+				p.Suspend()
+				ost.Write(p, float64(100+w))
+			}
+		})
+	}
+	k.Run() // writers register their wakers and park
+	return r
+}
+
+func (r *stormRig) round() {
+	for _, wake := range r.wakers {
+		wake()
+	}
+	r.k.Run()
+}
+
+// BenchmarkOSTWriteStorm measures one full storm round: 32 flows joining,
+// replanning against each other, and completing on a single target.
+func BenchmarkOSTWriteStorm(b *testing.B) {
+	b.ReportAllocs()
+	r := newStormRig(32)
+	defer r.k.Shutdown()
+	r.round() // warm pools and scratch buffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.round()
+	}
+}
+
+// TestOSTWriteStormZeroAlloc is the allocation regression gate for the
+// write path: steady-state flow churn — StartWrite, every replan it
+// triggers, completion wakeups — must be allocation-free.
+func TestOSTWriteStormZeroAlloc(t *testing.T) {
+	r := newStormRig(32)
+	defer r.k.Shutdown()
+	r.round()
+	got := testing.AllocsPerRun(50, r.round)
+	if got != 0 {
+		t.Fatalf("OST write storm allocates %v allocs/op in steady state; want 0", got)
+	}
+}

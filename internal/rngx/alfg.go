@@ -1,0 +1,149 @@
+package rngx
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// This file reimplements math/rand's additive lagged Fibonacci source
+// (Mitchell & Reeds, x[n] = x[n-273] + x[n-607]) bit for bit, so Source can
+// keep the exact streams the pinned golden checksums were captured against
+// while fixing the generator's one hot spot: Seed. Expanding a seed walks a
+// 1841-step LCG chain to fill the 607-word feedback register, which is
+// ~20x the cost of the handful of draws a short-lived stream ever makes —
+// interference.Start derives one stream per storage target, so cluster
+// construction was dominated by seeding (62% of the Table I benchmark).
+// Since the expansion is a pure function of the seed, alfgSeed memoises the
+// expanded register in a bounded cache and cache hits reduce seeding to a
+// 4.9KB copy.
+
+const (
+	alfgLen      = 607
+	alfgTap      = 273
+	alfgMask     = 1<<63 - 1
+	alfgInt32Max = 1<<31 - 1
+)
+
+// alfgSource implements rand.Source64 with math/rand's exact semantics.
+type alfgSource struct {
+	tap  int
+	feed int
+	vec  [alfgLen]int64
+}
+
+func newAlfg(seed int64) *alfgSource {
+	s := &alfgSource{}
+	s.Seed(seed)
+	return s
+}
+
+// alfgSeedrand advances the seeding LCG: x[n+1] = 48271*x[n] mod (2^31-1),
+// in Schrage form exactly as math/rand computes it.
+func alfgSeedrand(x int32) int32 {
+	const (
+		a = 48271
+		q = 44488
+		r = 3399
+	)
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += alfgInt32Max
+	}
+	return x
+}
+
+// alfgKey reduces a seed the way rngSource.Seed does; seeds equal mod
+// 2^31-1 produce identical registers, so the cache keys on the residue.
+func alfgKey(seed int64) int32 {
+	seed = seed % alfgInt32Max
+	if seed < 0 {
+		seed += alfgInt32Max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	return int32(seed)
+}
+
+// expand fills vec from a reduced seed: the LCG warm-up plus three chained
+// draws per word, XORed with the cooked constants.
+func (s *alfgSource) expand(key int32) {
+	x := key
+	for i := -20; i < alfgLen; i++ {
+		x = alfgSeedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = alfgSeedrand(x)
+			u ^= int64(x) << 20
+			x = alfgSeedrand(x)
+			u ^= int64(x)
+			u ^= alfgCooked[i]
+			s.vec[i] = u
+		}
+	}
+}
+
+// alfgCacheMax bounds the memo to ~20MB (each register is 4.9KB) — sized
+// to hold every stream a figure-scale campaign derives, since one Table I
+// round alone touches a couple of thousand (per-OST noise streams times
+// samples times machines). When full the map is cleared wholesale; the
+// cache affects only seeding cost, never the stream, so eviction policy is
+// free to be crude.
+const alfgCacheMax = 4096
+
+var alfgCache struct {
+	sync.Mutex
+	m map[int32]*[alfgLen]int64
+}
+
+// Seed initialises the register to the same deterministic state
+// math/rand's rngSource.Seed produces, via the memo when possible.
+func (s *alfgSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = alfgLen - alfgTap
+	key := alfgKey(seed)
+
+	alfgCache.Lock()
+	if v, ok := alfgCache.m[key]; ok {
+		s.vec = *v
+		alfgCache.Unlock()
+		return
+	}
+	alfgCache.Unlock()
+
+	s.expand(key)
+
+	v := s.vec
+	alfgCache.Lock()
+	if alfgCache.m == nil {
+		alfgCache.m = make(map[int32]*[alfgLen]int64, alfgCacheMax)
+	} else if len(alfgCache.m) >= alfgCacheMax {
+		clear(alfgCache.m)
+	}
+	alfgCache.m[key] = &v
+	alfgCache.Unlock()
+}
+
+// Uint64 returns the next raw register sum (math/rand's core step).
+func (s *alfgSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += alfgLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += alfgLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 implements rand.Source.
+func (s *alfgSource) Int63() int64 {
+	return int64(s.Uint64() & alfgMask)
+}
+
+var _ rand.Source64 = (*alfgSource)(nil)

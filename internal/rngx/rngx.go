@@ -21,9 +21,11 @@ type Source struct {
 	r *rand.Rand
 }
 
-// New creates a stream from a raw seed.
+// New creates a stream from a raw seed. The underlying generator is a
+// bit-exact reimplementation of math/rand's source whose seed expansion is
+// memoised (see alfg.go); the draws are identical to rand.NewSource's.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	return &Source{r: rand.New(newAlfg(seed))}
 }
 
 // NewNamed derives an independent stream from a master seed and a name.

@@ -1,0 +1,109 @@
+package simkernel
+
+import "testing"
+
+// timerChurn is one steady-state round of heavy timer traffic: schedule a
+// batch, cancel three quarters of it (enough to trip the lazy-cancel
+// compaction threshold every round), and drain the survivors. All state it
+// touches — pool slots, free list, queue backing array — is owned by the
+// kernel and recycled, so after a warm-up round it must not allocate.
+func timerChurn(k *Kernel, timers []Timer, fn func()) {
+	base := k.Now()
+	for j := range timers {
+		timers[j] = k.At(base+Time(j%16), fn)
+	}
+	for j := range timers {
+		if j%4 != 3 {
+			timers[j].Cancel()
+		}
+	}
+	k.RunUntil(base + 16)
+}
+
+// BenchmarkKernelTimerChurn measures the schedule/cancel/fire cycle the
+// fluid-model boundary timers generate (every OST replan cancels and
+// reschedules its boundary event).
+func BenchmarkKernelTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	fn := func() {}
+	timers := make([]Timer, 64)
+	timerChurn(k, timers, fn) // warm the pool and queue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timerChurn(k, timers, fn)
+	}
+}
+
+// TestKernelTimerChurnZeroAlloc is the allocation regression gate for the
+// kernel hot loop: once pool and queue are warm, timer churn — including
+// the compaction it triggers — must be allocation-free.
+func TestKernelTimerChurnZeroAlloc(t *testing.T) {
+	k := New()
+	fn := func() {}
+	timers := make([]Timer, 64)
+	timerChurn(k, timers, fn)
+	got := testing.AllocsPerRun(100, func() {
+		timerChurn(k, timers, fn)
+	})
+	if got != 0 {
+		t.Fatalf("timer churn allocates %v allocs/op in steady state; want 0", got)
+	}
+}
+
+// TestCompactOrderPreserved pins the compaction re-heapify: bulk-removing
+// cancelled entries must leave the survivors firing in exact (time, seq)
+// order. Heap sizes sweep across 4-ary parent boundaries, where an
+// off-by-one in the heapify start index leaves deep leaves unordered.
+func TestCompactOrderPreserved(t *testing.T) {
+	for n := 2; n <= 200; n++ {
+		k := New()
+		var fired []Time
+		timers := make([]Timer, n)
+		for j := 0; j < n; j++ {
+			// A scattered, collision-rich schedule (j*37 mod 101 repeats
+			// times for n > 101, exercising the seq tiebreak).
+			at := Time(j * 37 % 101)
+			timers[j] = k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		for j := 0; j < n; j++ {
+			if j%4 != 1 {
+				timers[j].Cancel() // 75% cancelled: forces compaction
+			}
+		}
+		k.Run()
+		want := 0
+		for j := 0; j < n; j++ {
+			if j%4 == 1 {
+				want++
+			}
+		}
+		if len(fired) != want {
+			t.Fatalf("n=%d: fired %d events, want %d", n, len(fired), want)
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("n=%d: events fired out of order: t=%v before t=%v", n, fired[i-1], fired[i])
+			}
+		}
+	}
+}
+
+// TestTimerGenerationSafety verifies a stale handle cannot cancel the
+// event that reuses its pool slot.
+func TestTimerGenerationSafety(t *testing.T) {
+	k := New()
+	fired := 0
+	tm := k.At(5, func() { t.Fatal("cancelled event fired") })
+	tm.Cancel()
+	k.Run() // slot is released
+	tm2 := k.At(10, func() { fired++ })
+	tm.Cancel() // stale: same slot, older generation — must be a no-op
+	if !tm2.Active() {
+		t.Fatal("stale Cancel deactivated the slot's new occupant")
+	}
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}

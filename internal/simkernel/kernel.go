@@ -10,10 +10,17 @@
 // in scheduling order (a monotonically increasing sequence number breaks
 // ties), which makes message delivery and resource handoff FIFO and
 // reproducible.
+//
+// The event queue is engineered for an allocation-free steady state: a
+// monomorphic 4-ary min-heap of small value structs keyed by (time, sequence)
+// references event payloads held in a free-listed pool, process wakeups are
+// scheduled without closures, and Timer handles carry a generation tag so
+// cancelling a handle whose pool slot has been reused is a safe no-op.
+// Cancelled events are dropped lazily at pop time and compacted in bulk when
+// they outnumber half the queue.
 package simkernel
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -44,71 +51,74 @@ func FromSeconds(s float64) Time {
 // String renders the time as seconds with nanosecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.9fs", t.Seconds()) }
 
-// event is a single scheduled occurrence. fire is invoked in kernel context.
-type event struct {
-	at        Time
-	seq       uint64
+// heapItem is one entry of the event queue: the ordering key plus the index
+// of the pooled payload. Keeping the queue monomorphic (no interface boxing,
+// no per-event pointer) is what lets the hot loop run allocation-free.
+type heapItem struct {
+	at  Time
+	seq uint64
+	id  int32
+}
+
+// itemLess is the total order on events: time, then scheduling sequence.
+func itemLess(a, b heapItem) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventRec is the pooled payload of a scheduled event. Exactly one of fire
+// and proc is set: proc is the closure-free fast path for waking a process.
+type eventRec struct {
 	fire      func()
+	proc      *Proc
+	gen       uint32 // bumped on every release; stale Timer handles miss
+	pending   bool   // scheduled and not yet fired or reclaimed
 	cancelled bool
-	index     int // heap bookkeeping
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMin is the queue length below which lazy-cancel compaction is not
+// worth the re-heapify.
+const compactMin = 32
 
 // Timer is a handle to a scheduled event that can be cancelled before it
-// fires. Cancelling an already-fired or already-cancelled timer is a no-op.
+// fires. The zero value is inert. Cancelling an already-fired or
+// already-cancelled timer is a no-op: the handle carries the generation of
+// the pool slot it was issued for, so it can never affect an event that
+// later reuses the slot.
 type Timer struct {
-	ev *event
+	k   *Kernel
+	id  int32
+	gen uint32
 }
 
-// Cancel prevents the timer's event from firing. Safe to call multiple times.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.cancelled = true
+// Cancel prevents the timer's event from firing. Safe to call multiple
+// times, on the zero Timer, and after the event has fired.
+func (t Timer) Cancel() {
+	if t.k != nil {
+		t.k.cancel(t.id, t.gen)
 	}
 }
 
 // Active reports whether the timer is still pending (not fired, not
 // cancelled).
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+func (t Timer) Active() bool {
+	if t.k == nil || int(t.id) >= len(t.k.pool) {
+		return false
+	}
+	rec := &t.k.pool[t.id]
+	return rec.gen == t.gen && rec.pending && !rec.cancelled
 }
 
 // Kernel is the simulation engine. Create one with New, spawn processes with
 // Spawn, then call Run. A Kernel must not be shared across concurrently
 // running simulations.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	queue      []heapItem // 4-ary min-heap ordered by itemLess
+	pool       []eventRec // event payloads, indexed by heapItem.id
+	free       []int32    // reclaimed pool slots
+	nCancelled int        // cancelled events still sitting in queue
 
 	// yield is the handoff channel: a running process sends on it exactly
 	// once each time it parks or terminates, returning control to the
@@ -134,27 +144,164 @@ func New() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// schedule inserts an event at absolute time at (clamped to now) and returns
-// it.
-func (k *Kernel) schedule(at Time, fire func()) *event {
+// alloc takes a pool slot from the free list, growing the pool only when the
+// free list is empty (steady-state scheduling therefore never allocates).
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		id := k.free[n-1]
+		k.free = k.free[:n-1]
+		return id
+	}
+	k.pool = append(k.pool, eventRec{})
+	return int32(len(k.pool) - 1)
+}
+
+// release returns a pool slot to the free list, bumping its generation so
+// outstanding Timer handles for the old occupant go stale.
+func (k *Kernel) release(id int32) {
+	rec := &k.pool[id]
+	rec.fire = nil
+	rec.proc = nil
+	rec.pending = false
+	rec.cancelled = false
+	rec.gen++
+	k.free = append(k.free, id)
+}
+
+// push inserts an item into the 4-ary heap.
+func (k *Kernel) push(it heapItem) {
+	q := append(k.queue, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !itemLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	k.queue = q
+}
+
+// siftDown restores heap order below position i.
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	it := q[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := min(c+4, n)
+		for j := c + 1; j < end; j++ {
+			if itemLess(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !itemLess(q[best], it) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = it
+}
+
+// popMin removes and returns the earliest item. The queue must be non-empty.
+func (k *Kernel) popMin() heapItem {
+	q := k.queue
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	k.queue = q[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+// cancel marks the event (id, gen) cancelled if it is still the pending
+// occupant of its slot; the queue entry is dropped lazily. When cancelled
+// entries outnumber half the queue, the queue is compacted in one pass.
+func (k *Kernel) cancel(id int32, gen uint32) {
+	if int(id) >= len(k.pool) {
+		return
+	}
+	rec := &k.pool[id]
+	if rec.gen != gen || !rec.pending || rec.cancelled {
+		return
+	}
+	rec.cancelled = true
+	k.nCancelled++
+	if len(k.queue) >= compactMin && k.nCancelled > len(k.queue)/2 {
+		k.compact()
+	}
+}
+
+// compact removes every cancelled entry from the queue and re-heapifies.
+// Pop order is unaffected: the heap order is a total order on (time, seq).
+func (k *Kernel) compact() {
+	kept := k.queue[:0]
+	for _, it := range k.queue {
+		if k.pool[it.id].cancelled {
+			k.release(it.id)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	k.queue = kept
+	k.nCancelled = 0
+	if len(kept) > 1 {
+		// The deepest parent of a 4-ary heap sits at (n-2)/4.
+		for i := (len(kept) - 2) / 4; i >= 0; i-- {
+			k.siftDown(i)
+		}
+	}
+}
+
+// scheduleFn inserts a callback event at absolute time at (clamped to now)
+// and returns its pool slot and generation.
+func (k *Kernel) scheduleFn(at Time, fire func()) (int32, uint32) {
 	if at < k.now {
 		at = k.now
 	}
+	id := k.alloc()
+	rec := &k.pool[id]
+	rec.fire = fire
+	rec.pending = true
+	gen := rec.gen
 	k.seq++
-	ev := &event{at: at, seq: k.seq, fire: fire}
-	heap.Push(&k.events, ev)
-	return ev
+	k.push(heapItem{at: at, seq: k.seq, id: id})
+	return id, gen
+}
+
+// scheduleProc inserts a process-wakeup event at absolute time at (clamped
+// to now). This is the closure-free fast path used by Sleep, Waker, mailbox
+// delivery and resource handoff.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	if at < k.now {
+		at = k.now
+	}
+	id := k.alloc()
+	rec := &k.pool[id]
+	rec.proc = p
+	rec.pending = true
+	k.seq++
+	k.push(heapItem{at: at, seq: k.seq, id: id})
 }
 
 // At schedules fn to run in kernel context at absolute virtual time at.
 // Times in the past are clamped to the present. The returned Timer may be
 // used to cancel the event.
-func (k *Kernel) At(at Time, fn func()) *Timer {
-	return &Timer{ev: k.schedule(at, fn)}
+func (k *Kernel) At(at Time, fn func()) Timer {
+	id, gen := k.scheduleFn(at, fn)
+	return Timer{k: k, id: id, gen: gen}
 }
 
 // After schedules fn to run in kernel context after virtual duration d.
-func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+func (k *Kernel) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -162,7 +309,7 @@ func (k *Kernel) After(d time.Duration, fn func()) *Timer {
 }
 
 // AfterSeconds schedules fn after a floating-point number of virtual seconds.
-func (k *Kernel) AfterSeconds(s float64, fn func()) *Timer {
+func (k *Kernel) AfterSeconds(s float64, fn func()) Timer {
 	return k.At(k.now+FromSeconds(s), fn)
 }
 
@@ -186,28 +333,32 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	defer func() { k.running = false }()
 
 	var fired uint64
-	for k.events.Len() > 0 {
-		next := k.events[0]
-		if next.at > deadline {
+	for len(k.queue) > 0 {
+		if k.queue[0].at > deadline {
 			break
 		}
-		heap.Pop(&k.events)
-		if next.cancelled {
+		top := k.popMin()
+		rec := &k.pool[top.id]
+		if rec.cancelled {
+			k.nCancelled--
+			k.release(top.id)
 			continue
 		}
-		k.now = next.at
+		fire, proc := rec.fire, rec.proc
+		k.release(top.id)
+		k.now = top.at
 		fired++
 		if k.EventLimit > 0 && fired > k.EventLimit {
 			panic(fmt.Sprintf("simkernel: event limit %d exceeded at t=%v", k.EventLimit, k.now))
 		}
-		next.fire()
+		if proc != nil {
+			proc.resume(wakeRun)
+		} else {
+			fire()
+		}
 		if k.finished {
 			break
 		}
-	}
-	if deadline > k.now && k.events.Len() == 0 && !k.finished {
-		// Queue drained naturally; clock stays at the last event.
-		_ = deadline
 	}
 	return k.now
 }
@@ -217,7 +368,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 func (k *Kernel) Stop() { k.finished = true }
 
 // Pending reports the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return k.events.Len() }
+func (k *Kernel) Pending() int { return len(k.queue) }
 
 // procState tracks a process's lifecycle.
 type procState int
@@ -250,12 +401,11 @@ type Proc struct {
 	name  string
 	wake  chan wakeKind
 	state procState
+	waker func() // lazily built, reused by every Waker call
 }
 
-// Spawn creates a process that begins executing fn at the current virtual
-// time (as a scheduled event, so the caller continues first). The name is
-// used in diagnostics only.
-func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+// newProc registers a fresh process and starts its goroutine.
+func (k *Kernel) newProc(name string, fn func(p *Proc)) *Proc {
 	k.nextProcID++
 	p := &Proc{
 		k:     k,
@@ -288,7 +438,15 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.state = procRunning
 		fn(p)
 	}()
-	k.schedule(k.now, func() { p.resume(wakeRun) })
+	return p
+}
+
+// Spawn creates a process that begins executing fn at the current virtual
+// time (as a scheduled event, so the caller continues first). The name is
+// used in diagnostics only.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := k.newProc(name, fn)
+	k.scheduleProc(k.now, p)
 	return p
 }
 
@@ -298,37 +456,8 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	if at < k.now {
 		at = k.now
 	}
-	k.nextProcID++
-	p := &Proc{
-		k:     k,
-		id:    k.nextProcID,
-		name:  name,
-		wake:  make(chan wakeKind),
-		state: procReady,
-	}
-	k.procs = append(k.procs, p)
-	go func() {
-		kind := <-p.wake
-		if kind == wakeShutdown {
-			p.state = procDone
-			k.yield <- struct{}{}
-			return
-		}
-		defer func() {
-			p.state = procDone
-			if r := recover(); r != nil {
-				if _, ok := r.(haltSentinel); ok {
-					k.yield <- struct{}{}
-					return
-				}
-				panic(fmt.Sprintf("simkernel: process %q panicked: %v", p.name, r))
-			}
-			k.yield <- struct{}{}
-		}()
-		p.state = procRunning
-		fn(p)
-	}()
-	k.schedule(at, func() { p.resume(wakeRun) })
+	p := k.newProc(name, fn)
+	k.scheduleProc(at, p)
 	return p
 }
 
@@ -376,14 +505,14 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.schedule(p.k.now+Time(d), func() { p.resume(wakeRun) })
+	p.k.scheduleProc(p.k.now+Time(d), p)
 	p.park()
 }
 
 // SleepSeconds suspends the process for a floating-point number of virtual
 // seconds.
 func (p *Proc) SleepSeconds(s float64) {
-	p.k.schedule(p.k.now+FromSeconds(s), func() { p.resume(wakeRun) })
+	p.k.scheduleProc(p.k.now+FromSeconds(s), p)
 	p.park()
 }
 
@@ -393,7 +522,7 @@ func (p *Proc) SleepUntil(at Time) {
 	if at <= p.k.now {
 		return
 	}
-	p.k.schedule(at, func() { p.resume(wakeRun) })
+	p.k.scheduleProc(at, p)
 	p.park()
 }
 
@@ -403,13 +532,16 @@ func (p *Proc) Suspend() {
 	p.park()
 }
 
-// Waker resumes a suspended process at the current virtual time (scheduled
-// as an event, preserving deterministic ordering). It must be called from
-// kernel or process context of the same kernel.
+// Waker returns a function that resumes the suspended process at the
+// virtual time of the call (scheduled as an event, preserving deterministic
+// ordering). It must be called from kernel or process context of the same
+// kernel. The closure is built once per process and reused, so repeated
+// Waker calls do not allocate.
 func (p *Proc) Waker() func() {
-	return func() {
-		p.k.schedule(p.k.now, func() { p.resume(wakeRun) })
+	if p.waker == nil {
+		p.waker = func() { p.k.scheduleProc(p.k.now, p) }
 	}
+	return p.waker
 }
 
 // Shutdown unwinds all processes that have not yet terminated. Call it after

@@ -32,14 +32,14 @@ func (m *Mailbox) Send(v any) {
 		w := m.waiters[0]
 		copy(m.waiters, m.waiters[1:])
 		m.waiters = m.waiters[:len(m.waiters)-1]
-		m.k.schedule(m.k.now, func() { w.resume(wakeRun) })
+		m.k.scheduleProc(m.k.now, w)
 	}
 }
 
 // SendAfter enqueues v after virtual duration d (modelling, e.g., message
 // latency). Callable from both process and kernel context.
 func (m *Mailbox) SendAfter(d Time, v any) {
-	m.k.schedule(m.k.now+d, func() { m.Send(v) })
+	m.k.scheduleFn(m.k.now+d, func() { m.Send(v) })
 }
 
 // Recv blocks p until a message is available and returns it.
@@ -115,7 +115,7 @@ func (r *Resource) Release() {
 		copy(r.waiters, r.waiters[1:])
 		r.waiters = r.waiters[:len(r.waiters)-1]
 		// Slot transfers directly: inUse stays constant.
-		r.k.schedule(r.k.now, func() { w.resume(wakeRun) })
+		r.k.scheduleProc(r.k.now, w)
 		return
 	}
 	r.inUse--
@@ -158,8 +158,7 @@ func (s *Signal) Broadcast() {
 	}
 	s.fired = true
 	for _, w := range s.waiters {
-		w := w
-		s.k.schedule(s.k.now, func() { w.resume(wakeRun) })
+		s.k.scheduleProc(s.k.now, w)
 	}
 	s.waiters = nil
 }
@@ -189,8 +188,7 @@ func (wg *WaitGroup) Add(n int) {
 	}
 	if wg.count == 0 && len(wg.waiters) > 0 {
 		for _, w := range wg.waiters {
-			w := w
-			wg.k.schedule(wg.k.now, func() { w.resume(wakeRun) })
+			wg.k.scheduleProc(wg.k.now, w)
 		}
 		wg.waiters = nil
 	}

@@ -263,6 +263,11 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	if leader {
 		st.writersWG[cohort].Wait(p)
 		li := bp.LocalIndex{File: fileName(stepName, cohort, m.cfg.SplitFiles)}
+		n := 0
+		for i := lo; i < hi; i++ {
+			n += len(st.entries[i])
+		}
+		li.Entries = make([]bp.VarEntry, 0, n)
 		for i := lo; i < hi; i++ {
 			li.Entries = append(li.Entries, st.entries[i]...)
 		}
