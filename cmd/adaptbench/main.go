@@ -9,6 +9,7 @@
 //	adaptbench -experiment fig5 [-size small|large|xl|all] [-procs 512,...,16384] [-samples 5]
 //	adaptbench -experiment fig6 [-procs ...] [-samples 5]
 //	adaptbench -experiment fig7 [-size ...]   (runs fig5+fig6 then reduces)
+//	adaptbench -scenario fig5-small -set procs=64,128   (the registry path)
 //
 // Scale knobs: -num-osts shrinks the simulated machine; -mpi-osts and
 // -adaptive-osts set the per-method target counts (paper: 160 and 512).
@@ -20,15 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/profiling"
+	"repro/internal/scenario/scenariocli"
 	"repro/internal/workloads"
 )
 
 func main() {
+	cli := scenariocli.Register(flag.CommandLine, "")
 	var (
 		experiment = flag.String("experiment", "fig5", "fig5 | fig6 | fig7")
 		size       = flag.String("size", "all", "pixie3d size: small | large | xl | all")
@@ -37,17 +38,13 @@ func main() {
 		mpiOSTs    = flag.Int("mpi-osts", 160, "MPI-IO storage targets (single-file limit)")
 		adOSTs     = flag.Int("adaptive-osts", 512, "adaptive-method storage targets")
 		numOSTs    = flag.Int("num-osts", 0, "simulated machine targets (0 = full Jaguar)")
-		seed       = flag.Int64("seed", 42, "master seed")
 		baseOnly   = flag.Bool("base-only", false, "skip the artificial-interference condition")
 		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
 		chart      = flag.Bool("chart", false, "also draw ASCII bar charts")
-		parallel   = flag.Int("parallel", 0, "replica workers (0 = all cores, 1 = sequential)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := cli.StartProfiling()
 	if err != nil {
 		fatal(err)
 	}
@@ -57,14 +54,21 @@ func main() {
 		}
 	}()
 
+	if cli.ScenarioRequested() {
+		if err := cli.RunScenario("adaptbench"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	eval := experiments.EvalOptions{
 		ProcCounts:   parseInts(*procsStr),
 		Samples:      *samples,
 		MPIOSTs:      *mpiOSTs,
 		AdaptiveOSTs: *adOSTs,
 		NumOSTs:      *numOSTs,
-		Seed:         *seed,
-		Parallel:     *parallel,
+		Seed:         cli.Seed,
+		Parallel:     cli.Parallel,
 	}
 	if *baseOnly {
 		eval.Conditions = []experiments.Condition{experiments.Base}
@@ -143,14 +147,10 @@ func parseInts(s string) []int {
 	if strings.TrimSpace(s) == "" {
 		return nil
 	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad count %q\n", part)
-			os.Exit(2)
-		}
-		out = append(out, v)
+	out, err := scenariocli.ParseInts(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	return out
 }

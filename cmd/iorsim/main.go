@@ -9,27 +9,29 @@
 //	iorsim -experiment table1 [-samples 469] [-scale 1]
 //	iorsim -experiment fig2  [-samples 469] [-scale 1] [-bins 12]
 //	iorsim -experiment fig3  [-osts 512] [-avg-over 40]
+//	iorsim -scenario fig1 -set osts=32            (the registry path)
+//	iorsim -scenario my-spec.json -trace
 //
 // All experiments accept -seed and -parallel (replica workers; 0 = all
-// cores). Reduced -osts / -scale runs preserve the per-target ratios that
-// drive every effect, so shapes persist at a fraction of the cost. Parallel
-// runs are bit-identical to sequential ones: every replica's world derives
-// from its grid coordinates, never from scheduling order.
+// cores), plus -cpuprofile/-memprofile. Reduced -osts / -scale runs
+// preserve the per-target ratios that drive every effect, so shapes persist
+// at a fraction of the cost. Parallel runs are bit-identical to sequential
+// ones: every replica's world derives from its grid coordinates, never from
+// scheduling order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/pfs"
+	"repro/internal/scenario/scenariocli"
 	"repro/metrics"
 )
 
 func main() {
+	cli := scenariocli.Register(flag.CommandLine, "")
 	var (
 		experiment = flag.String("experiment", "fig1", "fig1 | table1 | fig2 | fig3")
 		osts       = flag.Int("osts", 512, "storage targets (fig1/fig3)")
@@ -39,20 +41,35 @@ func main() {
 		scale      = flag.Int("scale", 1, "scale divisor for table1/fig2 machine sizes")
 		bins       = flag.Int("bins", 12, "histogram bins (fig2)")
 		avgOver    = flag.Int("avg-over", 40, "tests feeding the average imbalance (fig3)")
-		seed       = flag.Int64("seed", 42, "master seed")
 		noNoise    = flag.Bool("no-noise", false, "disable production background noise (fig1)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of rendered tables")
-		parallel   = flag.Int("parallel", 0, "replica workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
+	stopProf, err := cli.StartProfiling()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if cli.ScenarioRequested() {
+		if err := cli.RunScenario("iorsim"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	switch *experiment {
 	case "fig1":
-		runFig1(*osts, *samples, *sizes, *ratios, *seed, *noNoise, *csv, *parallel)
+		runFig1(*osts, *samples, *sizes, *ratios, cli.Seed, *noNoise, *csv, cli.Parallel)
 	case "table1", "fig2":
-		runTableI(*experiment, *samples, *scale, *bins, *seed, *csv, *parallel)
+		runTableI(*experiment, *samples, *scale, *bins, cli.Seed, *csv, cli.Parallel)
 	case "fig3":
-		runFig3(*osts, *avgOver, *seed, *parallel)
+		runFig3(*osts, *avgOver, cli.Seed, cli.Parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -60,22 +77,19 @@ func main() {
 }
 
 func parseFloats(s string) []float64 {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad number %q\n", part)
-			os.Exit(2)
-		}
-		out = append(out, v)
+	out, err := scenariocli.ParseFloats(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	return out
 }
 
 func parseInts(s string) []int {
-	var out []int
-	for _, f := range parseFloats(s) {
-		out = append(out, int(f))
+	out, err := scenariocli.ParseInts(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	return out
 }
@@ -168,7 +182,6 @@ func runFig3(osts, avgOver int, seed int64, parallel int) {
 	h2 := metrics.HistogramFigure{Title: "Test 2 write-time distribution", XUnit: "s", Bins: 10, Data: res.Test2Times}
 	fmt.Println(h1.Render())
 	fmt.Println(h2.Render())
-	_ = pfs.MB
 }
 
 func orPaper(v, dflt int) int {

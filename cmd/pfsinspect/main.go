@@ -8,6 +8,7 @@
 // Usage:
 //
 //	pfsinspect -machine jaguar [-seed 42]
+//	pfsinspect -scenario my-spec.json        (run a declarative scenario)
 package main
 
 import (
@@ -16,19 +17,39 @@ import (
 	"os"
 
 	"repro/cluster"
+	_ "repro/internal/experiments" // register the named scenarios
 	"repro/internal/ior"
 	"repro/internal/pfs"
+	"repro/internal/scenario/scenariocli"
 	"repro/internal/simkernel"
 	"repro/metrics"
 )
 
 func main() {
-	var (
-		machine = flag.String("machine", "jaguar", "jaguar | franklin | xtp | intrepid")
-		seed    = flag.Int64("seed", 42, "master seed")
-	)
+	cli := scenariocli.Register(flag.CommandLine, "")
+	machine := flag.String("machine", "jaguar", "jaguar | franklin | xtp | intrepid")
 	flag.Parse()
 
+	stopProf, err := cli.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfsinspect:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if cli.ScenarioRequested() {
+		if err := cli.RunScenario("pfsinspect"); err != nil {
+			fmt.Fprintln(os.Stderr, "pfsinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	seed := &cli.Seed
 	probeCluster := func(noise bool) *cluster.Cluster {
 		c, err := cluster.Preset(*machine, cluster.Config{
 			Seed: *seed, NumOSTs: 16, ProductionNoise: noise,

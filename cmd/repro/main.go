@@ -10,6 +10,12 @@
 // Artifacts land in -out (default ./results): one .txt per table/figure
 // plus summary.txt with the headline comparisons.
 //
+// Individual experiments (or any custom spec) run through the scenario
+// registry instead:
+//
+//	repro -scenario fig1 -set osts=32 -set samples=4
+//	repro -scenario examples/custom.json -set procs=32
+//
 // Campaigns run on a replica worker pool (-parallel, default all cores) with
 // results bit-identical to a sequential run; -seq-baseline additionally
 // reruns each driver on one worker and prints the measured speedup.
@@ -25,68 +31,19 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/profiling"
-	"repro/internal/workloads"
+	"repro/internal/scenario/scenariocli"
 	"repro/metrics"
 )
 
-type preset struct {
-	fig1   experiments.Fig1Options
-	table1 experiments.TableIOptions
-	fig3   experiments.Fig3Options
-	eval   experiments.EvalOptions
-	sizes  []workloads.Pixie3DSize
-}
-
-func quickPreset(seed int64) preset {
-	return preset{
-		fig1: experiments.Fig1Options{
-			OSTs: 16, Ratios: []int{1, 2, 4, 8, 16, 32},
-			SizesMB: []float64{1, 8, 128, 1024}, Samples: 12, Seed: seed,
-		},
-		table1: experiments.TableIOptions{
-			JaguarSamples: 60, FranklinSamples: 60, XTPSamples: 40,
-			ScaleOSTs: 8, Seed: seed,
-		},
-		fig3: experiments.Fig3Options{OSTs: 64, AverageOver: 20, Seed: seed},
-		eval: experiments.EvalOptions{
-			ProcCounts:   []int{64, 128, 256, 512, 1024},
-			Samples:      3,
-			MPIOSTs:      20, // preserves the paper's 160:512 ratio at 1/8 scale
-			AdaptiveOSTs: 64,
-			NumOSTs:      84, // 672/8
-			Seed:         seed,
-		},
-		sizes: []workloads.Pixie3DSize{
-			workloads.Pixie3DSmall, workloads.Pixie3DLarge, workloads.Pixie3DXL,
-		},
-	}
-}
-
-func fullPreset(seed int64) preset {
-	return preset{
-		fig1:   experiments.Fig1Options{Seed: seed}, // zero values = paper scale
-		table1: experiments.TableIOptions{Seed: seed},
-		fig3:   experiments.Fig3Options{Seed: seed},
-		eval:   experiments.EvalOptions{Seed: seed},
-		sizes:  nil, // all three Pixie3D sizes
-	}
-}
-
 func main() {
+	cli := scenariocli.Register(flag.CommandLine, "results")
 	var (
-		mode     = flag.String("mode", "quick", "quick | full")
-		out      = flag.String("out", "results", "output directory")
-		seed     = flag.Int64("seed", 42, "master seed")
-		only     = flag.String("only", "", "comma list to restrict: fig1,table1,fig2,fig3,fig5,fig6,fig7")
-		parallel = flag.Int("parallel", 0, "replica workers per driver (0 = all cores, 1 = sequential)")
-		seqBase  = flag.Bool("seq-baseline", false, "rerun each driver sequentially and report the parallel speedup")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		only    = flag.String("only", "", "comma list to restrict: fig1,table1,fig2,fig3,fig5,fig6,fig7")
+		seqBase = flag.Bool("seq-baseline", false, "rerun each driver sequentially and report the parallel speedup")
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := cli.StartProfiling()
 	if err != nil {
 		fatal(err)
 	}
@@ -96,17 +53,24 @@ func main() {
 		}
 	}()
 
-	var p preset
-	switch *mode {
-	case "quick":
-		p = quickPreset(*seed)
-	case "full":
-		p = fullPreset(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+	if cli.ScenarioRequested() {
+		if err := cli.RunScenario("repro"); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+
+	mode, out, seed, parallel := cli.Mode, cli.Out, cli.Seed, cli.Parallel
+	fig1Opt, err := experiments.Fig1Preset(mode)
+	if err != nil {
+		fatal(err)
+	}
+	table1Opt, _ := experiments.TableIPreset(mode)
+	fig3Opt, _ := experiments.Fig3Preset(mode)
+	evalOpt, _ := experiments.EvalPreset(mode)
+	fig1Opt.Seed, table1Opt.Seed, fig3Opt.Seed, evalOpt.Seed = seed, seed, seed, seed
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
 		fatal(err)
 	}
 
@@ -120,13 +84,13 @@ func main() {
 
 	var summary strings.Builder
 	fmt.Fprintf(&summary, "Reproduction run: mode=%s seed=%d at %s\n\n",
-		*mode, *seed, time.Now().Format(time.RFC3339))
+		mode, seed, time.Now().Format(time.RFC3339))
 
 	// --- Section II ---
 	if sel("fig1") {
-		res, err := runTimed(&summary, "Figure 1 (internal interference grid)", *parallel, *seqBase,
+		res, err := runTimed(&summary, "Figure 1 (internal interference grid)", parallel, *seqBase,
 			func(par int) (*experiments.Fig1Result, error) {
-				o := p.fig1
+				o := fig1Opt
 				o.Parallel = par
 				return experiments.Fig1(o)
 			})
@@ -139,10 +103,10 @@ func main() {
 		// interference, so they are validated against a noise-free run of
 		// the same grid (at small scale, external noise otherwise swamps
 		// the means that 512 real targets would average out).
-		clean := p.fig1
+		clean := fig1Opt
 		clean.NoNoise = true
 		clean.Samples = 2
-		clean.Parallel = *parallel
+		clean.Parallel = parallel
 		cres, err := experiments.Fig1(clean)
 		if err != nil {
 			fatal(err)
@@ -153,17 +117,17 @@ func main() {
 		} else {
 			text += "\nshape-check: all Figure 1 qualitative claims hold on the noise-free grid\n"
 			fmt.Fprintf(&summary, "Fig 1: internal-interference shapes hold (%d grid points)\n",
-				len(p.fig1.Ratios)*len(p.fig1.SizesMB))
+				len(fig1Opt.Ratios)*len(fig1Opt.SizesMB))
 		}
-		write(*out, "fig1.txt", text)
+		write(out, "fig1.txt", text)
 	}
 
 	var t1 *experiments.TableIResult
 	if sel("table1") || sel("fig2") {
 		var err error
-		t1, err = runTimed(&summary, "Table I (external interference variability)", *parallel, *seqBase,
+		t1, err = runTimed(&summary, "Table I (external interference variability)", parallel, *seqBase,
 			func(par int) (*experiments.TableIResult, error) {
-				o := p.table1
+				o := table1Opt
 				o.Parallel = par
 				return experiments.TableI(o)
 			})
@@ -179,7 +143,7 @@ func main() {
 			sum := metrics.Summarize(s.Imbalances)
 			fmt.Fprintf(&b, "  %-20s avg %.2f  max %.2f\n", s.Machine, sum.Mean, sum.Max)
 		}
-		write(*out, "table1.txt", b.String())
+		write(out, "table1.txt", b.String())
 		for _, s := range t1.Series {
 			fmt.Fprintf(&summary, "Table I %-18s CoV %.0f%%\n", s.Machine, s.Summary.CoVPercent())
 		}
@@ -190,13 +154,13 @@ func main() {
 			b.WriteString(h.Render())
 			b.WriteByte('\n')
 		}
-		write(*out, "fig2.txt", b.String())
+		write(out, "fig2.txt", b.String())
 	}
 
 	if sel("fig3") {
-		res, err := runTimed(&summary, "Figure 3 (imbalanced concurrent writers)", *parallel, *seqBase,
+		res, err := runTimed(&summary, "Figure 3 (imbalanced concurrent writers)", parallel, *seqBase,
 			func(par int) (*experiments.Fig3Result, error) {
-				o := p.fig3
+				o := fig3Opt
 				o.Parallel = par
 				return experiments.Fig3(o)
 			})
@@ -208,7 +172,7 @@ func main() {
 		fmt.Fprintf(&b, "Test 2 imbalance factor: %.2f\n", res.Imbalance2)
 		fmt.Fprintf(&b, "Overall average imbalance: %.2f (max %.2f)\n",
 			res.AvgImbalance, res.MaxImbalance)
-		write(*out, "fig3.txt", b.String())
+		write(out, "fig3.txt", b.String())
 		fmt.Fprintf(&summary, "Fig 3: imbalance avg %.2f, max %.2f (paper: avg ≈2, up to 3.44)\n",
 			res.AvgImbalance, res.MaxImbalance)
 	}
@@ -216,11 +180,11 @@ func main() {
 	// --- Section IV ---
 	var evalResults []*experiments.EvalResult
 	if sel("fig5") || sel("fig7") {
-		panels, err := runTimed(&summary, "Figure 5 (Pixie3D, MPI-IO vs adaptive)", *parallel, *seqBase,
+		panels, err := runTimed(&summary, "Figure 5 (Pixie3D, MPI-IO vs adaptive)", parallel, *seqBase,
 			func(par int) (*experiments.Fig5Result, error) {
-				o := p.eval
+				o := evalOpt
 				o.Parallel = par
-				return experiments.Fig5(experiments.Fig5Options{Eval: o, Sizes: p.sizes})
+				return experiments.Fig5(experiments.Fig5Options{Eval: o})
 			})
 		if err != nil {
 			fatal(err)
@@ -233,16 +197,16 @@ func main() {
 			b.WriteString(tbl.Render())
 			b.WriteByte('\n')
 			evalResults = append(evalResults, er)
-			addSpeedupSummary(&summary, er)
+			fmt.Fprintln(&summary, experiments.SpeedupLine(er))
 		}
 		if sel("fig5") {
-			write(*out, "fig5.txt", b.String())
+			write(out, "fig5.txt", b.String())
 		}
 	}
 	if sel("fig6") || sel("fig7") {
-		er, err := runTimed(&summary, "Figure 6 (XGC1, MPI-IO vs adaptive)", *parallel, *seqBase,
+		er, err := runTimed(&summary, "Figure 6 (XGC1, MPI-IO vs adaptive)", parallel, *seqBase,
 			func(par int) (*experiments.EvalResult, error) {
-				o := p.eval
+				o := evalOpt
 				o.Parallel = par
 				return experiments.Fig6(o)
 			})
@@ -255,9 +219,9 @@ func main() {
 		tbl := experiments.SpeedupSummary(er)
 		b.WriteString(tbl.Render())
 		evalResults = append(evalResults, er)
-		addSpeedupSummary(&summary, er)
+		fmt.Fprintln(&summary, experiments.SpeedupLine(er))
 		if sel("fig6") {
-			write(*out, "fig6.txt", b.String())
+			write(out, "fig6.txt", b.String())
 		}
 	}
 	if sel("fig7") && len(evalResults) > 0 {
@@ -267,35 +231,12 @@ func main() {
 			b.WriteString(fig.Render())
 			b.WriteByte('\n')
 		}
-		write(*out, "fig7.txt", b.String())
+		write(out, "fig7.txt", b.String())
 	}
 
-	write(*out, "summary.txt", summary.String())
+	write(out, "summary.txt", summary.String())
 	fmt.Println("\n" + summary.String())
-	fmt.Printf("artifacts written to %s/\n", *out)
-}
-
-func addSpeedupSummary(b *strings.Builder, er *experiments.EvalResult) {
-	tbl := experiments.SpeedupSummary(er)
-	best, worst := "", ""
-	var bestV, worstV float64
-	for _, row := range tbl.Rows {
-		v := parseSpeedup(row[4])
-		if best == "" || v > bestV {
-			best, bestV = row[1]+" procs/"+row[0], v
-		}
-		if worst == "" || v < worstV {
-			worst, worstV = row[1]+" procs/"+row[0], v
-		}
-	}
-	fmt.Fprintf(b, "%-16s adaptive vs MPI: %.2fx (%s) … %.2fx (%s)\n",
-		er.Workload, worstV, worst, bestV, best)
-}
-
-func parseSpeedup(s string) float64 {
-	var v float64
-	fmt.Sscanf(s, "%fx", &v)
-	return v
+	fmt.Printf("artifacts written to %s/\n", out)
 }
 
 func step(name string) { fmt.Println("==>", name) }

@@ -20,6 +20,13 @@
 // execution; all experiment drivers and CLIs expose this via Parallel
 // options and -parallel flags.
 //
+// Every experiment is described by a declarative spec (internal/scenario):
+// machine, workload, transport, interference model, grid axes, and sample
+// count, validated before execution and runnable from any CLI via
+// -scenario name|file.json with -set axis=value overrides. The paper's
+// drivers are registered specs; examples/custom.json shows a combination
+// no paper experiment covers.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper (see DESIGN.md for the per-experiment index and
 // EXPERIMENTS.md for paper-vs-measured values); cmd/repro runs the whole

@@ -14,16 +14,21 @@
 // offers scaling knobs so tests and benchmarks can run the same shapes at
 // reduced cost. All results carry the raw samples so downstream analyses
 // (Fig 2 and Fig 7 reuse Table I and Fig 5/6 data, as in the paper).
+//
+// Each driver is a thin builder of a declarative spec (internal/scenario)
+// plus a demux of the generic run back into its canonical tables and
+// figures; register.go exposes the same drivers through the scenario
+// registry for the CLIs' -scenario flag. Seed labels and grid-point labels
+// are part of the reproducibility contract and must not change.
 package experiments
 
 import (
 	"fmt"
 
 	"repro/adios"
-	"repro/cluster"
 	"repro/internal/iomethod"
 	"repro/internal/runner"
-	"repro/internal/workloads"
+	"repro/internal/scenario"
 )
 
 // Condition labels the two evaluation environments of Section IV.
@@ -72,66 +77,29 @@ type CampaignResult struct {
 }
 
 // RunCampaign executes one collective output step of an application under
-// the given environment and returns its measurements.
+// the given environment and returns its measurements. It is a thin adapter
+// over scenario.ExecCampaign — the single execution path every app-kind
+// replica goes through.
 func RunCampaign(opt CampaignOptions) (CampaignResult, error) {
-	if opt.Machine == "" {
-		opt.Machine = "jaguar"
-	}
-	if opt.Writers <= 0 {
-		return CampaignResult{}, fmt.Errorf("experiments: writers must be positive")
-	}
-	if opt.PerRank == nil {
-		return CampaignResult{}, fmt.Errorf("experiments: PerRank generator required")
-	}
-	c, err := cluster.Preset(opt.Machine, cluster.Config{
-		Seed:            opt.Seed,
-		NumOSTs:         opt.NumOSTs,
-		ProductionNoise: !opt.NoNoise,
+	smp, err := scenario.ExecCampaign(scenario.CampaignConfig{
+		Machine:      opt.Machine,
+		Writers:      opt.Writers,
+		NumOSTs:      opt.NumOSTs,
+		NoNoise:      opt.NoNoise,
+		Seed:         opt.Seed,
+		IO:           adios.Options{Method: opt.Method, OSTs: opt.MethodOSTs},
+		PerRank:      opt.PerRank,
+		Interference: opt.Condition == Interference,
 	})
 	if err != nil {
 		return CampaignResult{}, err
-	}
-	defer c.Shutdown()
-
-	if opt.Condition == Interference {
-		// The paper's artificial interference: stripe count 8 (two
-		// applications at the default stripe count of 4), three 1 GB
-		// writers per target.
-		c.StartArtificialInterference(nil, 0, 0)
-	}
-
-	w := c.NewWorld(opt.Writers)
-	io, err := adios.NewIO(c, w, adios.Options{Method: opt.Method, OSTs: opt.MethodOSTs})
-	if err != nil {
-		return CampaignResult{}, err
-	}
-
-	var res *adios.StepResult
-	var stepErr error
-	stepName := fmt.Sprintf("%s.out", opt.Method)
-	j := w.Launch(func(r *cluster.Rank) {
-		f := io.Open(r, stepName)
-		f.WriteData(opt.PerRank(r.Rank()))
-		rr, err := f.Close()
-		if err != nil {
-			stepErr = err
-			return
-		}
-		res = rr
-	})
-	c.RunUntilDone(j)
-	if stepErr != nil {
-		return CampaignResult{}, stepErr
-	}
-	if !j.Done() || res == nil {
-		return CampaignResult{}, fmt.Errorf("experiments: campaign did not complete")
 	}
 	return CampaignResult{
-		Elapsed:     res.Elapsed,
-		AggregateBW: res.AggregateBW(),
-		WriterTimes: append([]float64(nil), res.WriterTimes...),
-		TotalBytes:  res.TotalBytes,
-		Adaptive:    res.AdaptiveWrites,
+		Elapsed:     smp.Elapsed,
+		AggregateBW: smp.AggregateBW,
+		WriterTimes: smp.WriterTimes,
+		TotalBytes:  smp.TotalBytes,
+		Adaptive:    smp.AdaptiveWrites,
 	}, nil
 }
 
@@ -165,15 +133,3 @@ func firstN(n int) []int {
 	return out
 }
 
-// scaleCounts multiplies each ratio by the OST count to produce the writer
-// counts of a weak-scaling sweep.
-func scaleCounts(osts int, ratios []int) []int {
-	out := make([]int, len(ratios))
-	for i, r := range ratios {
-		out[i] = osts * r
-	}
-	return out
-}
-
-// Generator re-exports the workload generator type for drivers.
-type Generator = workloads.Generator

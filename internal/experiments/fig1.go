@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/cluster"
-	"repro/internal/ior"
 	"repro/internal/pfs"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/metrics"
 )
@@ -63,9 +61,48 @@ type Fig1Result struct {
 	Samples map[string]map[int][]float64
 }
 
+// Fig1Scenario expresses the grid declaratively: the pinned file-per-
+// process IOR workload on a scaled Jaguar, swept over per-writer size and
+// writers-per-OST ratio. Seed label "fig1" and the "size=%gMB/ratio=%d"
+// point labels reproduce the pre-scenario replica streams exactly.
+func Fig1Scenario(opt Fig1Options) scenario.Scenario {
+	opt.defaults()
+	sizes := make([]scenario.Value, len(opt.SizesMB))
+	for i, s := range opt.SizesMB {
+		sizes[i] = scenario.NumValue(s)
+	}
+	ratios := make([]scenario.Value, len(opt.Ratios))
+	for i, r := range opt.Ratios {
+		ratios[i] = scenario.NumValue(float64(r))
+	}
+	return scenario.Scenario{
+		Name:        "fig1",
+		Description: "Figure 1: internal-interference IOR grid on Jaguar (weak scaling)",
+		Machine:     "jaguar",
+		NumOSTs:     opt.OSTs,
+		NoNoise:     opt.NoNoise,
+		Samples:     opt.Samples,
+		Workload:    scenario.Workload{Kind: scenario.KindIOR, PinTargets: true},
+		Axes: []scenario.Axis{
+			{Name: "size", LabelFmt: "size=%gMB", Values: sizes},
+			{Name: "ratio", LabelFmt: "ratio=%d", Values: ratios},
+		},
+	}
+}
+
 // Fig1 runs the internal-interference grid.
 func Fig1(opt Fig1Options) (*Fig1Result, error) {
 	opt.defaults()
+	run, err := scenario.Run(Fig1Scenario(opt), scenario.RunOptions{Seed: opt.Seed, Parallel: opt.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return fig1Demux(run)
+}
+
+// fig1Demux rebuilds the two figure panels from a scenario run, grouping
+// grid points by their size parameter in encounter order.
+func fig1Demux(run *scenario.Result) (*Fig1Result, error) {
 	res := &Fig1Result{
 		Aggregate: metrics.Figure{
 			Title: "Figure 1(a): Scaling of Aggregate Write Bandwidth on Jaguar/Lustre",
@@ -77,74 +114,38 @@ func Fig1(opt Fig1Options) (*Fig1Result, error) {
 		},
 		Samples: map[string]map[int][]float64{},
 	}
-	// One replica per (size, ratio, sample) cell; the whole grid runs on the
-	// worker pool at once, then demuxes positionally back into series.
-	type cell struct {
-		sizeMB float64
-		ratio  int
+	type sizeSeries struct {
+		agg, pw metrics.Series
 	}
-	var points []string
-	cells := map[string]cell{}
-	for _, sizeMB := range opt.SizesMB {
-		for _, ratio := range opt.Ratios {
-			p := fmt.Sprintf("size=%gMB/ratio=%d", sizeMB, ratio)
-			points = append(points, p)
-			cells[p] = cell{sizeMB: sizeMB, ratio: ratio}
-		}
-	}
-	keys := runner.Keys("fig1", points, opt.Samples)
-	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
-		func(k runner.ReplicaKey) (ior.Result, error) {
-			c := cells[k.Point]
-			return fig1Sample(opt, opt.OSTs*c.ratio, c.sizeMB*pfs.MB, k.Seed(opt.Seed))
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	idx := 0
-	for _, sizeMB := range opt.SizesMB {
+	var order []string
+	bySize := map[string]*sizeSeries{}
+	for _, pt := range run.Points {
+		sizeMB := pt.Params.Float("size", 0)
+		ratio := pt.Params.Int("ratio", 0)
+		writers := pt.Params.Int("osts", run.Scenario.NumOSTs) * ratio
 		sizeName := fmt.Sprintf("%gMB", sizeMB)
-		res.Samples[sizeName] = map[int][]float64{}
-		var aggSeries, pwSeries metrics.Series
-		aggSeries.Name = sizeName
-		pwSeries.Name = sizeName
-		for _, ratio := range opt.Ratios {
-			writers := opt.OSTs * ratio
-			var aggSamples, pwSamples []float64
-			for s := 0; s < opt.Samples; s++ {
-				r := results[idx]
-				idx++
-				aggSamples = append(aggSamples, r.AggregateBW/pfs.GB)
-				pwSamples = append(pwSamples, r.MeanPerWriterBW()/pfs.MB)
-			}
-			label := fmt.Sprintf("%d", writers)
-			aggSeries.Add(label, aggSamples)
-			pwSeries.Add(label, pwSamples)
-			res.Samples[sizeName][ratio] = aggSamples
+		ss := bySize[sizeName]
+		if ss == nil {
+			ss = &sizeSeries{agg: metrics.Series{Name: sizeName}, pw: metrics.Series{Name: sizeName}}
+			bySize[sizeName] = ss
+			order = append(order, sizeName)
+			res.Samples[sizeName] = map[int][]float64{}
 		}
-		res.Aggregate.AddSeries(aggSeries)
-		res.PerWriter.AddSeries(pwSeries)
+		var aggSamples, pwSamples []float64
+		for _, r := range pt.Samples {
+			aggSamples = append(aggSamples, r.AggregateBW/pfs.GB)
+			pwSamples = append(pwSamples, r.MeanPerWriterBW()/pfs.MB)
+		}
+		label := fmt.Sprintf("%d", writers)
+		ss.agg.Add(label, aggSamples)
+		ss.pw.Add(label, pwSamples)
+		res.Samples[sizeName][ratio] = aggSamples
+	}
+	for _, sizeName := range order {
+		res.Aggregate.AddSeries(bySize[sizeName].agg)
+		res.PerWriter.AddSeries(bySize[sizeName].pw)
 	}
 	return res, nil
-}
-
-func fig1Sample(opt Fig1Options, writers int, bytes float64, seed int64) (ior.Result, error) {
-	c, err := cluster.Preset("jaguar", cluster.Config{
-		Seed:            seed,
-		NumOSTs:         opt.OSTs,
-		ProductionNoise: !opt.NoNoise,
-	})
-	if err != nil {
-		return ior.Result{}, err
-	}
-	defer c.Shutdown()
-	return ior.Execute(c.FileSystem(), ior.Config{
-		Writers:        writers,
-		OSTs:           firstN(opt.OSTs),
-		BytesPerWriter: bytes,
-		Mode:           ior.FilePerProcess,
-	})
 }
 
 // Fig1ShapeChecks verifies the qualitative claims of the paper's Section II

@@ -7,7 +7,7 @@ import (
 
 	"repro/adios"
 	"repro/internal/pfs"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/metrics"
@@ -95,86 +95,100 @@ type EvalResult struct {
 	AdaptiveCounts map[CaseKey][]int
 }
 
+// EvalScenario expresses one workload's evaluation declaratively: the app
+// workload over a method × condition × procs grid, where each method value
+// carries its own target count (the paper's 160-target MPI-IO limit vs the
+// adaptive method's free choice). Seed label "eval/<workload>" and the
+// "METHOD/cond/procs=N" point labels reproduce the pre-scenario replica
+// streams exactly.
+func EvalScenario(gen workloads.Generator, opt EvalOptions) scenario.Scenario {
+	opt.defaults()
+	methodVal := func(m adios.Method, osts int) scenario.Value {
+		v := scenario.StrValue(string(m))
+		v.With = map[string]scenario.Value{"transport_osts": scenario.NumValue(float64(osts))}
+		return v
+	}
+	conds := make([]scenario.Value, len(opt.Conditions))
+	for i, c := range opt.Conditions {
+		conds[i] = scenario.StrValue(string(c))
+	}
+	procs := make([]scenario.Value, len(opt.ProcCounts))
+	for i, p := range opt.ProcCounts {
+		procs[i] = scenario.NumValue(float64(p))
+	}
+	return scenario.Scenario{
+		Name:        "eval/" + gen.Name,
+		Description: fmt.Sprintf("Section IV evaluation: %s under MPI-IO vs adaptive IO", gen.Name),
+		Machine:     "jaguar",
+		NumOSTs:     opt.NumOSTs,
+		Samples:     opt.Samples,
+		Workload: scenario.Workload{
+			Kind:      scenario.KindApp,
+			Generator: gen.Name,
+			PerRank:   gen.PerRank,
+		},
+		Axes: []scenario.Axis{
+			{Name: "method", LabelFmt: "%s", Values: []scenario.Value{
+				methodVal(adios.MethodMPI, opt.MPIOSTs),
+				methodVal(adios.MethodAdaptive, opt.AdaptiveOSTs),
+			}},
+			{Name: "condition", LabelFmt: "%s", Values: conds},
+			{Name: "procs", LabelFmt: "procs=%d", Values: procs},
+		},
+	}
+}
+
 // EvaluateWorkload runs the paper's MPI-vs-adaptive comparison for one
 // workload generator across process counts, conditions and samples.
 func EvaluateWorkload(gen workloads.Generator, title string, opt EvalOptions) (*EvalResult, error) {
 	opt.defaults()
+	run, err := scenario.Run(EvalScenario(gen, opt), scenario.RunOptions{Seed: opt.Seed, Parallel: opt.Parallel})
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", gen.Name, err)
+	}
+	return evalDemux(run, title)
+}
+
+// evalDemux rebuilds an EvalResult from a scenario run, deriving the grid
+// from the spec's axes by name. Series emit in the canonical driver order —
+// condition-outer, method, procs — which differs from the spec's point
+// enumeration (method-outer) and is why the demux looks points up by label
+// rather than iterating positionally.
+func evalDemux(run *scenario.Result, title string) (*EvalResult, error) {
 	res := &EvalResult{
-		Workload:       gen.Name,
+		Workload:       run.Scenario.Workload.Generator,
 		Figure:         metrics.Figure{Title: title, YUnit: "GB/s"},
 		ElapsedSamples: map[CaseKey][]float64{},
 		BWSamples:      map[CaseKey][]float64{},
 		AdaptiveCounts: map[CaseKey][]int{},
 	}
-
-	type caseSpec struct {
-		method adios.Method
-		osts   []int
-		cond   Condition
+	axes := map[string][]scenario.Value{}
+	for _, ax := range run.Scenario.Axes {
+		axes[ax.Name] = ax.Values
 	}
-	var cases []caseSpec
-	for _, cond := range opt.Conditions {
-		cases = append(cases,
-			caseSpec{adios.MethodMPI, firstN(opt.MPIOSTs), cond},
-			caseSpec{adios.MethodAdaptive, firstN(opt.AdaptiveOSTs), cond},
-		)
-	}
-
-	// The full method × condition × procs × samples grid is one replica set:
-	// every campaign is an independent simulated world keyed by its grid
-	// coordinates, so the pool runs them in any order and the demux below
-	// (positional, in canonical key order) rebuilds exactly the maps the
-	// sequential loops built.
-	type cell struct {
-		cs    caseSpec
-		procs int
-	}
-	var points []string
-	cells := map[string]cell{}
-	for _, cs := range cases {
-		for _, procs := range opt.ProcCounts {
-			p := fmt.Sprintf("%s/%s/procs=%d", cs.method, cs.cond, procs)
-			points = append(points, p)
-			cells[p] = cell{cs: cs, procs: procs}
-		}
-	}
-	keys := runner.Keys("eval/"+gen.Name, points, opt.Samples)
-	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
-		func(k runner.ReplicaKey) (CampaignResult, error) {
-			c := cells[k.Point]
-			return RunCampaign(CampaignOptions{
-				Machine:    "jaguar",
-				Writers:    c.procs,
-				Method:     c.cs.method,
-				MethodOSTs: c.cs.osts,
-				Condition:  c.cs.cond,
-				Seed:       k.Seed(opt.Seed),
-				PerRank:    gen.PerRank,
-				NumOSTs:    opt.NumOSTs,
-			})
-		})
-	if err != nil {
-		return nil, fmt.Errorf("evaluate %s: %w", gen.Name, err)
-	}
-
-	idx := 0
-	for _, cs := range cases {
-		series := metrics.Series{Name: fmt.Sprintf("%s-%s", cs.method, cs.cond)}
-		for _, procs := range opt.ProcCounts {
-			key := CaseKey{Method: cs.method, Condition: cs.cond, Procs: procs}
-			var bws []float64
-			for s := 0; s < opt.Samples; s++ {
-				r := results[idx]
-				idx++
-				bwGB := r.AggregateBW / pfs.GB
-				bws = append(bws, bwGB)
-				res.ElapsedSamples[key] = append(res.ElapsedSamples[key], r.Elapsed)
-				res.BWSamples[key] = append(res.BWSamples[key], bwGB)
-				res.AdaptiveCounts[key] = append(res.AdaptiveCounts[key], r.Adaptive)
+	for _, cond := range axes["condition"] {
+		for _, method := range axes["method"] {
+			series := metrics.Series{Name: fmt.Sprintf("%s-%s", method.String(), cond.String())}
+			for _, pv := range axes["procs"] {
+				procs := int(pv.Float())
+				label := fmt.Sprintf("%s/%s/procs=%d", method.String(), cond.String(), procs)
+				pt := run.Point(label)
+				if pt == nil {
+					return nil, fmt.Errorf("evaluate %s: grid point %q missing from run", res.Workload, label)
+				}
+				key := CaseKey{Method: adios.Method(method.String()), Condition: Condition(cond.String()), Procs: procs}
+				var bws []float64
+				for _, r := range pt.Samples {
+					bwGB := r.AggregateBW / pfs.GB
+					bws = append(bws, bwGB)
+					res.ElapsedSamples[key] = append(res.ElapsedSamples[key], r.Elapsed)
+					res.BWSamples[key] = append(res.BWSamples[key], bwGB)
+					res.AdaptiveCounts[key] = append(res.AdaptiveCounts[key], r.AdaptiveWrites)
+				}
+				series.Add(fmt.Sprintf("%d", procs), bws)
 			}
-			series.Add(fmt.Sprintf("%d", procs), bws)
+			res.Figure.AddSeries(series)
 		}
-		res.Figure.AddSeries(series)
 	}
 	return res, nil
 }
@@ -311,4 +325,25 @@ func SpeedupSummary(er *EvalResult) metrics.Table {
 		}
 	}
 	return t
+}
+
+// SpeedupLine condenses SpeedupSummary into the one-line range the paper
+// quotes in prose — worst and best adaptive-vs-MPI speedups with the
+// configurations they occur at.
+func SpeedupLine(er *EvalResult) string {
+	tbl := SpeedupSummary(er)
+	best, worst := "", ""
+	var bestV, worstV float64
+	for _, row := range tbl.Rows {
+		var v float64
+		fmt.Sscanf(row[4], "%fx", &v)
+		if best == "" || v > bestV {
+			best, bestV = row[1]+" procs/"+row[0], v
+		}
+		if worst == "" || v < worstV {
+			worst, worstV = row[1]+" procs/"+row[0], v
+		}
+	}
+	return fmt.Sprintf("%-16s adaptive vs MPI: %.2fx (%s) … %.2fx (%s)",
+		er.Workload, worstV, worst, bestV, best)
 }

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/cluster"
-	"repro/internal/pfs"
-	"repro/internal/runner"
-	"repro/internal/simkernel"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/metrics"
 )
@@ -51,11 +48,43 @@ type MetadataResult struct {
 	QueuePeaks map[time.Duration][]int
 }
 
+// MetadataScenario expresses the study declaratively: the openstorm
+// workload on a 64-target Jaguar slice swept over a "stagger" axis whose
+// point labels are the Duration strings the hand-written driver used.
+func MetadataScenario(opt MetadataOptions) scenario.Scenario {
+	opt.defaults()
+	staggers := make([]scenario.Value, len(opt.Staggers))
+	for i, d := range opt.Staggers {
+		v := scenario.NumValue(float64(d))
+		v.Label = d.String()
+		staggers[i] = v
+	}
+	return scenario.Scenario{
+		Name:        "metadata",
+		Description: "Metadata open-storm study (future-work extension)",
+		Machine:     "jaguar",
+		NumOSTs:     64,
+		NoNoise:     true,
+		Samples:     opt.Samples,
+		Workload:    scenario.Workload{Kind: scenario.KindOpenStorm, Writers: opt.Writers},
+		Axes:        []scenario.Axis{{Name: "stagger", Values: staggers}},
+	}
+}
+
 // MetadataStudy measures a simultaneous file-create storm from N ranks
-// against the metadata server, with and without staggering, under
-// production noise (service-time variation).
+// against the metadata server, with and without staggering.
 func MetadataStudy(opt MetadataOptions) (*MetadataResult, error) {
 	opt.defaults()
+	run, err := scenario.Run(MetadataScenario(opt), scenario.RunOptions{Seed: opt.Seed, Parallel: opt.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return metadataDemux(run)
+}
+
+// metadataDemux reduces the scenario run to the study's table, one stagger
+// value per grid point in axis order.
+func metadataDemux(run *scenario.Result) (*MetadataResult, error) {
 	res := &MetadataResult{
 		Table: metrics.Table{
 			Title: "Metadata open-storm study (future-work extension)",
@@ -65,81 +94,21 @@ func MetadataStudy(opt MetadataOptions) (*MetadataResult, error) {
 		StormTimes: map[time.Duration][]float64{},
 		QueuePeaks: map[time.Duration][]int{},
 	}
-	// One replica per (stagger, sample); the whole sweep shares a pool.
-	type storm struct {
-		time float64
-		peak int
-	}
-	var points []string
-	byPoint := map[string]time.Duration{}
-	for _, stagger := range opt.Staggers {
-		p := stagger.String()
-		points = append(points, p)
-		byPoint[p] = stagger
-	}
-	keys := runner.Keys("metadata", points, opt.Samples)
-	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
-		func(k runner.ReplicaKey) (storm, error) {
-			t, peak, err := openStorm(opt.Writers, byPoint[k.Point], k.Seed(opt.Seed))
-			return storm{time: t, peak: peak}, err
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	idx := 0
-	for _, stagger := range opt.Staggers {
-		for s := 0; s < opt.Samples; s++ {
-			r := results[idx]
-			idx++
-			res.StormTimes[stagger] = append(res.StormTimes[stagger], r.time)
-			res.QueuePeaks[stagger] = append(res.QueuePeaks[stagger], r.peak)
+	for _, pt := range run.Points {
+		stagger := time.Duration(int64(pt.Params.Float("stagger", 0)))
+		var peakSum float64
+		for _, r := range pt.Samples {
+			res.StormTimes[stagger] = append(res.StormTimes[stagger], r.Elapsed)
+			res.QueuePeaks[stagger] = append(res.QueuePeaks[stagger], r.QueuePeak)
+			peakSum += float64(r.QueuePeak)
 		}
 		sum := stats.Summarize(res.StormTimes[stagger])
-		var peakSum float64
-		for _, q := range res.QueuePeaks[stagger] {
-			peakSum += float64(q)
-		}
 		res.Table.AddRow(
 			stagger.String(),
 			fmt.Sprintf("%.3f", sum.Mean),
 			fmt.Sprintf("%.0f%%", sum.CoVPercent()),
-			fmt.Sprintf("%.0f", peakSum/float64(len(res.QueuePeaks[stagger]))),
+			fmt.Sprintf("%.0f", peakSum/float64(len(pt.Samples))),
 		)
 	}
 	return res, nil
-}
-
-// openStorm has `writers` ranks create one file each (stagger-spaced) and
-// returns the storm completion time and MDS queue peak.
-func openStorm(writers int, stagger time.Duration, seed int64) (float64, int, error) {
-	c, err := cluster.Preset("jaguar", cluster.Config{Seed: seed, NumOSTs: 64})
-	if err != nil {
-		return 0, 0, err
-	}
-	defer c.Shutdown()
-	fs := c.FileSystem()
-	k := c.Kernel()
-	wg := simkernel.NewWaitGroup(k)
-	wg.Add(writers)
-	var last simkernel.Time
-	for i := 0; i < writers; i++ {
-		i := i
-		k.Spawn("opener", func(p *simkernel.Proc) {
-			defer wg.Done()
-			if stagger > 0 {
-				p.Sleep(time.Duration(i) * stagger)
-			}
-			f, err := fs.Create(p, fmt.Sprintf("storm.%06d", i), pfs.Layout{OSTs: []int{i % 64}})
-			if err != nil {
-				panic(err)
-			}
-			f.Close(p)
-			if p.Now() > last {
-				last = p.Now()
-			}
-		})
-	}
-	k.Run()
-	return last.Seconds(), fs.MDS.Stats.MaxQueue, nil
 }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// The CLI preset modes: "quick" runs scaled-down grids whose per-target
+// ratios (and therefore shapes) match the paper's, in minutes; "full" is
+// the paper's configuration (512 OSTs, writer counts to 16384, 40/469
+// samples), in hours. Presets carry no Seed — the CLI's -seed flag applies
+// at run time — so the same preset is reusable across seeds.
+
+const (
+	ModeQuick = "quick"
+	ModeFull  = "full"
+)
+
+func checkMode(mode string) error {
+	switch mode {
+	case ModeQuick, ModeFull:
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q (want quick | full)", mode)
+}
+
+// Fig1Preset returns the Figure 1 grid for a preset mode.
+func Fig1Preset(mode string) (Fig1Options, error) {
+	if err := checkMode(mode); err != nil {
+		return Fig1Options{}, err
+	}
+	if mode == ModeQuick {
+		return Fig1Options{
+			OSTs: 16, Ratios: []int{1, 2, 4, 8, 16, 32},
+			SizesMB: []float64{1, 8, 128, 1024}, Samples: 12,
+		}, nil
+	}
+	return Fig1Options{}, nil // zero values = paper scale
+}
+
+// TableIPreset returns the Table I / Figure 2 study for a preset mode.
+func TableIPreset(mode string) (TableIOptions, error) {
+	if err := checkMode(mode); err != nil {
+		return TableIOptions{}, err
+	}
+	if mode == ModeQuick {
+		return TableIOptions{
+			JaguarSamples: 60, FranklinSamples: 60, XTPSamples: 40,
+			ScaleOSTs: 8,
+		}, nil
+	}
+	return TableIOptions{}, nil
+}
+
+// Fig3Preset returns the imbalanced-writers illustration for a preset mode.
+func Fig3Preset(mode string) (Fig3Options, error) {
+	if err := checkMode(mode); err != nil {
+		return Fig3Options{}, err
+	}
+	if mode == ModeQuick {
+		return Fig3Options{OSTs: 64, AverageOver: 20}, nil
+	}
+	return Fig3Options{}, nil
+}
+
+// EvalPreset returns the Section IV evaluation grid for a preset mode.
+func EvalPreset(mode string) (EvalOptions, error) {
+	if err := checkMode(mode); err != nil {
+		return EvalOptions{}, err
+	}
+	if mode == ModeQuick {
+		return EvalOptions{
+			ProcCounts:   []int{64, 128, 256, 512, 1024},
+			Samples:      3,
+			MPIOSTs:      20, // preserves the paper's 160:512 ratio at 1/8 scale
+			AdaptiveOSTs: 64,
+			NumOSTs:      84, // 672/8
+		}, nil
+	}
+	return EvalOptions{}, nil
+}
+
+// MetadataPreset returns the open-storm study for a preset mode.
+func MetadataPreset(mode string) (MetadataOptions, error) {
+	if err := checkMode(mode); err != nil {
+		return MetadataOptions{}, err
+	}
+	if mode == ModeQuick {
+		return MetadataOptions{
+			Writers: 128, Samples: 5,
+			Staggers: []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond},
+		}, nil
+	}
+	return MetadataOptions{}, nil
+}

@@ -6,8 +6,7 @@ import (
 	"repro/cluster"
 	"repro/internal/ior"
 	"repro/internal/pfs"
-	"repro/internal/rngx"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/metrics"
 )
@@ -73,9 +72,70 @@ type TableIResult struct {
 	Series []MachineSeries
 }
 
+// TableIScenario expresses the study declaratively: one "machine" axis
+// whose values carry With bundles switching machine preset, target/writer
+// counts, noise and workload kind together — Table I's rows are literally
+// four configurations of one spec. Seed label "table1" and the row-name
+// point labels reproduce the pre-scenario replica streams exactly.
+func TableIScenario(opt TableIOptions) scenario.Scenario {
+	opt.defaults()
+	osts := 512 / opt.ScaleOSTs
+	franklinWriters := 80 / opt.ScaleOSTs
+	if franklinWriters < 2 {
+		franklinWriters = 2
+	}
+	xtpWriters, xtpBlades := xtpScale(opt.ScaleOSTs)
+	num := func(n int) scenario.Value { return scenario.NumValue(float64(n)) }
+	machine := func(preset, label string, samples int, with map[string]scenario.Value) scenario.Value {
+		v := scenario.StrValue(preset)
+		v.Label = label
+		v.Samples = samples
+		v.With = with
+		return v
+	}
+	xtpWith := func(withInterference bool) map[string]scenario.Value {
+		return map[string]scenario.Value{
+			"kind":              scenario.StrValue(scenario.KindPairedIOR),
+			"osts":              num(xtpBlades),
+			"writers":           num(xtpWriters),
+			"noise":             scenario.BoolValue(false),
+			"with_interference": scenario.BoolValue(withInterference),
+		}
+	}
+	return scenario.Scenario{
+		Name:        "table1",
+		Description: "Table I: external-interference variability on Jaguar, Franklin and XTP",
+		Samples:     opt.JaguarSamples,
+		Workload:    scenario.Workload{Kind: scenario.KindIOR, Bytes: opt.BytesPerWriter},
+		Axes: []scenario.Axis{{
+			Name: "machine",
+			Values: []scenario.Value{
+				machine("jaguar", "Jaguar", opt.JaguarSamples, map[string]scenario.Value{
+					"osts": num(osts), "writers": num(osts),
+				}),
+				machine("franklin", "Franklin", opt.FranklinSamples, map[string]scenario.Value{
+					"writers": num(franklinWriters),
+				}),
+				machine("xtp", "XTP(with Int.)", opt.XTPSamples, xtpWith(true)),
+				machine("xtp", "XTP(without Int.)", opt.XTPSamples, xtpWith(false)),
+			},
+		}},
+	}
+}
+
 // TableI runs the external-interference variability study.
 func TableI(opt TableIOptions) (*TableIResult, error) {
 	opt.defaults()
+	run, err := scenario.Run(TableIScenario(opt), scenario.RunOptions{Seed: opt.Seed, Parallel: opt.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return tableIDemux(run)
+}
+
+// tableIDemux reduces the scenario run to the paper's table, one machine
+// row per grid point in axis order.
+func tableIDemux(run *scenario.Result) (*TableIResult, error) {
 	res := &TableIResult{
 		Table: metrics.Table{
 			Title: "Table I: IO Performance Variability Due to External Interference",
@@ -83,84 +143,16 @@ func TableI(opt TableIOptions) (*TableIResult, error) {
 				"Std. Deviation", "Covariance"},
 		},
 	}
-
-	type job struct {
-		name    string
-		samples int
-		run     func(seed int64) (float64, []float64, error) // MB/s, writer times
-	}
-	jobs := []job{
-		{
-			name:    "Jaguar",
-			samples: opt.JaguarSamples,
-			run: func(seed int64) (float64, []float64, error) {
-				osts := 512 / opt.ScaleOSTs
-				return hourlyIOR("jaguar", osts, osts, opt.BytesPerWriter, seed, true)
-			},
-		},
-		{
-			name:    "Franklin",
-			samples: opt.FranklinSamples,
-			run: func(seed int64) (float64, []float64, error) {
-				writers := 80 / opt.ScaleOSTs
-				if writers < 2 {
-					writers = 2
-				}
-				return hourlyIOR("franklin", 0, writers, opt.BytesPerWriter, seed, true)
-			},
-		},
-		{
-			name:    "XTP(with Int.)",
-			samples: opt.XTPSamples,
-			run: func(seed int64) (float64, []float64, error) {
-				writers, blades := xtpScale(opt.ScaleOSTs)
-				return xtpIOR(writers, blades, opt.BytesPerWriter, seed, true)
-			},
-		},
-		{
-			name:    "XTP(without Int.)",
-			samples: opt.XTPSamples,
-			run: func(seed int64) (float64, []float64, error) {
-				writers, blades := xtpScale(opt.ScaleOSTs)
-				return xtpIOR(writers, blades, opt.BytesPerWriter, seed, false)
-			},
-		},
-	}
-
-	// The machines' hourly tests are all independent replicas; run every
-	// (machine, sample) pair on one worker pool and demux positionally.
-	type hourly struct {
-		bw    float64
-		times []float64
-	}
-	var keys []runner.ReplicaKey
-	byName := map[string]job{}
-	for _, j := range jobs {
-		byName[j.name] = j
-		keys = append(keys, runner.SampleKeys("table1", j.name, j.samples)...)
-	}
-	results, err := runner.Run(runner.Options{Parallel: opt.Parallel}, keys,
-		func(k runner.ReplicaKey) (hourly, error) {
-			bw, times, err := byName[k.Point].run(k.Seed(opt.Seed))
-			return hourly{bw: bw, times: times}, err
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	idx := 0
-	for _, j := range jobs {
-		ms := MachineSeries{Machine: j.name}
-		for s := 0; s < j.samples; s++ {
-			r := results[idx]
-			idx++
-			ms.BWSamples = append(ms.BWSamples, r.bw)
-			ms.Imbalances = append(ms.Imbalances, stats.ImbalanceFactor(r.times))
+	for _, pt := range run.Points {
+		ms := MachineSeries{Machine: pt.Label}
+		for _, r := range pt.Samples {
+			ms.BWSamples = append(ms.BWSamples, r.AggregateBW/pfs.MB)
+			ms.Imbalances = append(ms.Imbalances, stats.ImbalanceFactor(r.WriterTimes))
 		}
 		ms.Summary = stats.Summarize(ms.BWSamples)
 		res.Series = append(res.Series, ms)
 		res.Table.AddRow(
-			j.name,
+			pt.Label,
 			fmt.Sprintf("%d", ms.Summary.N),
 			fmt.Sprintf("%.3e", ms.Summary.Mean),
 			fmt.Sprintf("%.3e", ms.Summary.StdDev),
@@ -168,30 +160,6 @@ func TableI(opt TableIOptions) (*TableIResult, error) {
 		)
 	}
 	return res, nil
-}
-
-// hourlyIOR runs one hourly-test sample: a fresh production environment
-// (noise state differs per seed, as the machine's load differs per hour)
-// and a single IOR with one writer per target.
-func hourlyIOR(machine string, numOSTs, writers int, bytes float64, seed int64, noise bool) (float64, []float64, error) {
-	c, err := cluster.Preset(machine, cluster.Config{
-		Seed:            seed,
-		NumOSTs:         numOSTs,
-		ProductionNoise: noise,
-	})
-	if err != nil {
-		return 0, nil, err
-	}
-	defer c.Shutdown()
-	r, err := ior.Execute(c.FileSystem(), ior.Config{
-		Writers:        writers,
-		BytesPerWriter: bytes,
-		Mode:           ior.FilePerProcess,
-	})
-	if err != nil {
-		return 0, nil, err
-	}
-	return r.AggregateBW / pfs.MB, r.WriterTimes, nil
 }
 
 // xtpScale shrinks both the writer count and blade count by the scale
@@ -206,54 +174,6 @@ func xtpScale(scale int) (writers, blades int) {
 		writers = 2 * blades
 	}
 	return writers, blades
-}
-
-// xtpIOR runs one XTP sample: one IOR alone, or two simultaneous IOR
-// programs (the paper's controlled interference), measuring the first.
-func xtpIOR(writers, blades int, bytes float64, seed int64, withInterference bool) (float64, []float64, error) {
-	c, err := cluster.Preset("xtp", cluster.Config{Seed: seed, NumOSTs: blades})
-	if err != nil {
-		return 0, nil, err
-	}
-	defer c.Shutdown()
-	fs := c.FileSystem()
-	runA, err := ior.Launch(fs, ior.Config{
-		Writers:        writers,
-		BytesPerWriter: bytes,
-		Mode:           ior.FilePerProcess,
-		Tag:            "A",
-	})
-	if err != nil {
-		return 0, nil, err
-	}
-	var runB *ior.Run
-	var launchErr error
-	if withInterference {
-		// The second job starts at a seed-varied offset within the first
-		// job's run, as two batch jobs on a real machine overlap at an
-		// arbitrary phase — the source of the up-to-43% variability the
-		// paper measures on XTP.
-		rng := rngx.NewNamed(seed, "xtp-phase")
-		estimate := float64(writers) * bytes / (float64(len(fs.OSTs)) * fs.Cfg.DiskBW * 0.8)
-		delay := rng.Uniform(0, estimate)
-		c.Kernel().AfterSeconds(delay, func() {
-			runB, launchErr = ior.Launch(fs, ior.Config{
-				Writers:        writers,
-				BytesPerWriter: bytes,
-				Mode:           ior.FilePerProcess,
-				Tag:            "B",
-			})
-		})
-	}
-	c.Run()
-	if launchErr != nil {
-		return 0, nil, launchErr
-	}
-	if !runA.Done() || (runB != nil && !runB.Done()) {
-		return 0, nil, fmt.Errorf("xtp IOR did not complete")
-	}
-	r := runA.Result()
-	return r.AggregateBW / pfs.MB, r.WriterTimes, nil
 }
 
 // Fig2 renders the Table I sample sets as the paper's bandwidth histograms.
@@ -361,22 +281,28 @@ func Fig3(opt Fig3Options) (*Fig3Result, error) {
 		Imbalance2: r2.ImbalanceFactor,
 	}
 
-	factors, err := runner.Run(runner.Options{Parallel: opt.Parallel},
-		runner.SampleKeys("fig3", "imbalance", opt.AverageOver),
-		func(k runner.ReplicaKey) (float64, error) {
-			_, times, err := hourlyIOR("jaguar", opt.OSTs, opt.OSTs, opt.BytesPerWriter,
-				k.Seed(opt.Seed), true)
-			if err != nil {
-				return 0, err
-			}
-			return stats.ImbalanceFactor(times), nil
-		})
+	// The average-imbalance series is an unlabeled inline scenario: the
+	// hourly-test shape at this option set, seed label "fig3", single grid
+	// point "imbalance" — the same replica stream the bespoke loop drew.
+	avg, err := scenario.Run(scenario.Scenario{
+		Name:       "fig3",
+		PointLabel: "imbalance",
+		Machine:    "jaguar",
+		NumOSTs:    opt.OSTs,
+		Samples:    opt.AverageOver,
+		Workload: scenario.Workload{
+			Kind:    scenario.KindIOR,
+			Writers: opt.OSTs,
+			Bytes:   opt.BytesPerWriter,
+		},
+	}, scenario.RunOptions{Seed: opt.Seed, Parallel: opt.Parallel})
 	if err != nil {
 		return nil, err
 	}
 	var acc stats.Accumulator
 	maxI := 0.0
-	for _, f := range factors {
+	for _, smp := range avg.Points[0].Samples {
+		f := stats.ImbalanceFactor(smp.WriterTimes)
 		acc.Add(f)
 		if f > maxI {
 			maxI = f

@@ -99,6 +99,17 @@ type Run struct {
 // Done reports whether all writers have finished.
 func (r *Run) Done() bool { return r.done.Count() == 0 }
 
+// OnDone spawns a watcher on the kernel that calls fn (in kernel context)
+// once all of the run's writers have finished. It lets harnesses that
+// cannot rely on natural drain — e.g. a tracer keeps the kernel alive —
+// join on the run and stop the kernel explicitly.
+func (r *Run) OnDone(k *simkernel.Kernel, fn func()) {
+	k.Spawn("ior-watch", func(p *simkernel.Proc) {
+		r.done.Wait(p)
+		fn()
+	})
+}
+
 // Result returns the measurements; it panics if writers are still running.
 func (r *Run) Result() Result {
 	if !r.Done() {

@@ -1,0 +1,384 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/machines"
+	"repro/internal/pfs"
+	"repro/internal/runner"
+	"repro/internal/workloads"
+)
+
+// Point is one compiled grid point: the cross product of one value per
+// axis, with the scenario's sample count after per-value overrides.
+type Point struct {
+	Label   string
+	Samples int
+	Params  Params
+}
+
+// Points compiles the axes into the grid, first axis outermost — the same
+// enumeration order the hand-written drivers used, so replica keys (and
+// therefore progress callbacks and result layout) are stable.
+func (s *Scenario) Points() []Point {
+	if len(s.Axes) == 0 {
+		label := s.PointLabel
+		if label == "" {
+			label = "all"
+		}
+		return []Point{{Label: label, Samples: s.Samples, Params: Params{}}}
+	}
+	pts := []Point{{Samples: s.Samples, Params: Params{}}}
+	for _, ax := range s.Axes {
+		next := make([]Point, 0, len(pts)*len(ax.Values))
+		for _, p := range pts {
+			for _, v := range ax.Values {
+				np := Point{Label: joinLabel(p.Label, ax.labelFor(v)), Samples: p.Samples, Params: cloneParams(p.Params)}
+				if v.Samples > 0 {
+					np.Samples = v.Samples
+				}
+				np.Params[ax.Name] = v
+				for k, wv := range v.With {
+					np.Params[k] = wv
+				}
+				next = append(next, np)
+			}
+		}
+		pts = next
+	}
+	return pts
+}
+
+func joinLabel(prefix, frag string) string {
+	if prefix == "" {
+		return frag
+	}
+	return prefix + "/" + frag
+}
+
+// ReplicaKeys lays the grid out as runner keys: for each point in order,
+// samples 0..n-1. Seeds depend only on (seed label, point label, sample),
+// never on this enumeration, so any regrouping stays bit-identical.
+func (s *Scenario) ReplicaKeys() ([]runner.ReplicaKey, []Point) {
+	pts := s.Points()
+	var keys []runner.ReplicaKey
+	for _, pt := range pts {
+		keys = append(keys, runner.SampleKeys(s.seedLabel(), pt.Label, pt.Samples)...)
+	}
+	return keys, pts
+}
+
+// Validate checks the spec: identity, workload kind, transport method,
+// machine and generator resolution, axis consistency, and a positive
+// sample count at every compiled grid point.
+func (s *Scenario) Validate() error {
+	if s.seedLabel() == "" {
+		return fmt.Errorf("scenario: needs a name (or seed_label)")
+	}
+	switch s.Workload.Kind {
+	case KindApp, KindIOR, KindPairedIOR, KindOpenStorm:
+	case "":
+		return fmt.Errorf("scenario %s: workload kind required (app | ior | paired-ior | openstorm)", s.seedLabel())
+	default:
+		return fmt.Errorf("scenario %s: unknown workload kind %q (want app | ior | paired-ior | openstorm)", s.seedLabel(), s.Workload.Kind)
+	}
+	if _, err := s.Workload.staggerDuration(); err != nil {
+		return err
+	}
+
+	names := make(map[string]bool, len(s.Axes))
+	for _, ax := range s.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("scenario %s: axis without a name", s.seedLabel())
+		}
+		if names[ax.Name] {
+			return fmt.Errorf("scenario %s: conflicting grid axes: %q appears twice", s.seedLabel(), ax.Name)
+		}
+		names[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("scenario %s: axis %q has no values", s.seedLabel(), ax.Name)
+		}
+	}
+	for _, ax := range s.Axes {
+		for _, v := range ax.Values {
+			for k := range v.With {
+				if k != ax.Name && names[k] {
+					return fmt.Errorf("scenario %s: axis %q value %q binds %q, which conflicts with grid axis %q",
+						s.seedLabel(), ax.Name, ax.labelFor(v), k, k)
+				}
+			}
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, pt := range s.Points() {
+		if seen[pt.Label] {
+			return fmt.Errorf("scenario %s: conflicting grid axes: duplicate point label %q", s.seedLabel(), pt.Label)
+		}
+		seen[pt.Label] = true
+		if pt.Samples <= 0 {
+			return fmt.Errorf("scenario %s: point %q has zero samples", s.seedLabel(), pt.Label)
+		}
+		if _, err := s.resolve(pt.Params); err != nil {
+			return fmt.Errorf("scenario %s: point %q: %w", s.seedLabel(), pt.Label, err)
+		}
+	}
+	return nil
+}
+
+// replicaCfg is one grid point's fully resolved execution configuration.
+type replicaCfg struct {
+	kind    string
+	machine string
+	numOSTs int
+	noise   bool
+
+	// IOR-family knobs.
+	writers          int
+	bytes            float64
+	pin              bool
+	flush            bool
+	shared           bool
+	withInterference bool
+
+	// openstorm knob.
+	stagger time.Duration
+
+	// app knobs.
+	procs     int
+	generator string
+	method    string
+	transport Transport
+
+	condition string
+}
+
+// resolve merges the spec's base fields with one point's parameter
+// bindings. Axis names are conventional: "machine", "osts", "noise",
+// "kind", "writers", "ratio", "size" (MB), "bytes", "procs", "generator",
+// "method", "transport_osts", "condition", "with_interference",
+// "stagger" (ns).
+func (s *Scenario) resolve(p Params) (replicaCfg, error) {
+	c := replicaCfg{
+		kind:      p.Str("kind", s.Workload.Kind),
+		machine:   p.Str("machine", s.Machine),
+		numOSTs:   p.Int("osts", s.NumOSTs),
+		noise:     p.Bool("noise", !s.NoNoise),
+		pin:       s.Workload.PinTargets,
+		flush:     s.Workload.Flush,
+		shared:    s.Workload.SharedFile,
+		procs:     p.Int("procs", s.Workload.Procs),
+		generator: p.Str("generator", s.Workload.Generator),
+		method:    p.Str("method", s.Transport.Method),
+		transport: s.Transport,
+		condition: p.Str("condition", s.Interference.Condition),
+	}
+	if c.machine == "" {
+		c.machine = "jaguar"
+	}
+	if c.condition == "" {
+		c.condition = ConditionBase
+	}
+	if _, ok := machines.ByName(c.machine, 0); !ok {
+		return c, fmt.Errorf("unknown machine %q (have %v)", c.machine, machines.Names())
+	}
+
+	c.bytes = s.Workload.Bytes
+	if c.bytes == 0 {
+		c.bytes = s.Workload.SizeMB * pfs.MB
+	}
+	if p.Has("size") {
+		c.bytes = p.Float("size", 0) * pfs.MB
+	}
+	if p.Has("bytes") {
+		c.bytes = p.Float("bytes", 0)
+	}
+
+	c.writers = p.Int("writers", s.Workload.Writers)
+	if ratio := p.Int("ratio", s.Workload.WritersPerOST); ratio > 0 {
+		c.writers = c.numOSTs * ratio
+	}
+
+	c.withInterference = p.Bool("with_interference", s.Workload.WithInterference)
+
+	d, err := s.Workload.staggerDuration()
+	if err != nil {
+		return c, err
+	}
+	c.stagger = d
+	if p.Has("stagger") {
+		c.stagger = time.Duration(int64(p.Float("stagger", 0)))
+	}
+
+	c.transport.Method = c.method
+	c.transport.OSTs = p.Int("transport_osts", s.Transport.OSTs)
+
+	switch c.kind {
+	case KindApp:
+		switch c.method {
+		case "", "MPI", "POSIX", "ADAPTIVE", "STAGING":
+		default:
+			return c, fmt.Errorf("unknown transport method %q (want MPI | POSIX | ADAPTIVE | STAGING)", c.method)
+		}
+		if c.procs <= 0 {
+			return c, fmt.Errorf("app workload needs a positive process count")
+		}
+		if s.Workload.PerRank == nil {
+			if c.generator == "" {
+				return c, fmt.Errorf("app workload needs a generator")
+			}
+			if _, ok := workloads.ByName(c.generator); !ok {
+				var have []string
+				for _, g := range workloads.All() {
+					have = append(have, g.Name)
+				}
+				return c, fmt.Errorf("unknown workload generator %q (have %v)", c.generator, have)
+			}
+		}
+	case KindIOR, KindPairedIOR, KindOpenStorm:
+		if c.writers <= 0 {
+			return c, fmt.Errorf("%s workload needs positive writers (or a ratio with osts set)", c.kind)
+		}
+		if c.bytes < 0 {
+			return c, fmt.Errorf("negative per-writer size")
+		}
+	default:
+		return c, fmt.Errorf("unknown workload kind %q", c.kind)
+	}
+	return c, nil
+}
+
+// ApplySet applies one -set key=value override to the spec: axis names
+// replace that axis's values (comma-separated scalars, labels regenerated
+// from the axis format), everything else targets the conventional spec
+// fields. Call Validate afterwards.
+func ApplySet(s *Scenario, assignment string) error {
+	key, val, ok := strings.Cut(assignment, "=")
+	if !ok {
+		return fmt.Errorf("scenario: -set wants key=value, got %q", assignment)
+	}
+	key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+
+	for i := range s.Axes {
+		if s.Axes[i].Name != key {
+			continue
+		}
+		vals, err := parseValueList(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set %s: %w", key, err)
+		}
+		s.Axes[i].Values = vals
+		return nil
+	}
+
+	switch key {
+	case "samples":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set samples: %v", err)
+		}
+		s.Samples = n
+		// An explicit override beats the per-value counts too.
+		for i := range s.Axes {
+			for j := range s.Axes[i].Values {
+				s.Axes[i].Values[j].Samples = 0
+			}
+		}
+	case "machine":
+		s.Machine = val
+	case "osts", "num_osts":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set %s: %v", key, err)
+		}
+		s.NumOSTs = n
+	case "noise":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set noise: %v", err)
+		}
+		s.NoNoise = !b
+	case "no_noise":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set no_noise: %v", err)
+		}
+		s.NoNoise = b
+	case "procs":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set procs: %v", err)
+		}
+		s.Workload.Procs = n
+	case "writers":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set writers: %v", err)
+		}
+		s.Workload.Writers = n
+	case "ratio":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set ratio: %v", err)
+		}
+		s.Workload.WritersPerOST = n
+	case "size_mb":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: -set size_mb: %v", err)
+		}
+		s.Workload.SizeMB, s.Workload.Bytes = f, 0
+	case "generator":
+		s.Workload.Generator = val
+		s.Workload.PerRank = nil
+	case "method":
+		s.Transport.Method = val
+	case "transport_osts":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set transport_osts: %v", err)
+		}
+		s.Transport.OSTs = n
+	case "condition":
+		s.Interference.Condition = val
+	case "stagger":
+		s.Workload.Stagger = val
+	case "seed_label":
+		s.SeedLabel = val
+	default:
+		return fmt.Errorf("scenario: unknown -set key %q (axes: %v; fields: samples machine osts noise no_noise procs writers ratio size_mb generator method transport_osts condition stagger seed_label)",
+			key, axisNames(s))
+	}
+	return nil
+}
+
+func axisNames(s *Scenario) []string {
+	out := make([]string, len(s.Axes))
+	for i, ax := range s.Axes {
+		out[i] = ax.Name
+	}
+	return out
+}
+
+// parseValueList splits a -set axis override into scalar values.
+func parseValueList(v string) ([]Value, error) {
+	parts := strings.Split(v, ",")
+	out := make([]Value, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty value in %q", v)
+		}
+		if f, err := strconv.ParseFloat(part, 64); err == nil {
+			out = append(out, NumValue(f))
+		} else if part == "true" || part == "false" {
+			out = append(out, BoolValue(part == "true"))
+		} else {
+			out = append(out, StrValue(part))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/stats"
+	"repro/metrics"
+)
+
+// Table renders the generic per-point summary used for custom (file-based)
+// scenarios: one row per grid point with bandwidth, variability and
+// imbalance statistics over its samples — the same reductions the paper's
+// Table I applies to its measurement series.
+func (r *Result) Table() metrics.Table {
+	title := r.Scenario.Name
+	if r.Scenario.Description != "" {
+		title += " — " + r.Scenario.Description
+	}
+	t := metrics.Table{
+		Title: title,
+		Header: []string{"Point", "Samples", "Avg. BW (MB/sec)", "Std. Deviation",
+			"Covariance", "Avg. Elapsed (s)", "Avg. Imbalance"},
+	}
+	for _, pt := range r.Points {
+		var bws, elapsed, imb []float64
+		for _, smp := range pt.Samples {
+			bws = append(bws, smp.AggregateBW/pfs.MB)
+			elapsed = append(elapsed, smp.Elapsed)
+			if len(smp.WriterTimes) > 0 {
+				imb = append(imb, smp.ImbalanceFactor())
+			}
+		}
+		bw := stats.Summarize(bws)
+		t.AddRow(
+			pt.Label,
+			fmt.Sprintf("%d", len(pt.Samples)),
+			fmt.Sprintf("%.3e", bw.Mean),
+			fmt.Sprintf("%.3e", bw.StdDev),
+			fmt.Sprintf("%.0f%%", bw.CoVPercent()),
+			fmt.Sprintf("%.3f", stats.Summarize(elapsed).Mean),
+			imbCell(imb),
+		)
+	}
+	return t
+}
+
+func imbCell(imb []float64) string {
+	if len(imb) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", stats.Summarize(imb).Mean)
+}
+
+// Summary produces the headline lines for a generic scenario run.
+func (r *Result) Summary() []string {
+	replicas := 0
+	for _, pt := range r.Points {
+		replicas += len(pt.Samples)
+	}
+	out := []string{fmt.Sprintf("%s: %d grid points, %d replicas",
+		r.Scenario.Name, len(r.Points), replicas)}
+	for _, pt := range r.Points {
+		var bws []float64
+		for _, smp := range pt.Samples {
+			bws = append(bws, smp.AggregateBW/pfs.MB)
+		}
+		sum := stats.Summarize(bws)
+		out = append(out, fmt.Sprintf("  %s: %.3e MB/s mean, CoV %.0f%%",
+			pt.Label, sum.Mean, sum.CoVPercent()))
+	}
+	return out
+}

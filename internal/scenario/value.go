@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the scalar held by a Value.
+type ValueKind int
+
+const (
+	// KindNumber holds a float64 (JSON numbers; ints round-trip exactly up
+	// to 2^53).
+	KindNumber ValueKind = iota
+	// KindString holds a string.
+	KindString
+	// KindBool holds a bool.
+	KindBool
+)
+
+// Value is one axis value (or With-bundle binding): a scalar plus optional
+// per-value label, sample-count override, and extra parameter bindings.
+//
+// In JSON a Value is either a bare scalar (8, "MPI", true) or an object:
+//
+//	{"value": "xtp", "label": "XTP(with Int.)", "samples": 4,
+//	 "with": {"writers": 64, "noise": false}}
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+	Bool bool
+
+	// Label overrides the axis LabelFmt for this value.
+	Label string
+	// Samples overrides the scenario's sample count for points carrying
+	// this value (inner axes win when several override).
+	Samples int
+	// With binds extra parameters alongside the axis's own — the mechanism
+	// that lets one axis switch machine, writer count and workload kind
+	// together (Table I's machine column).
+	With map[string]Value
+}
+
+// NumValue builds a number value.
+func NumValue(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// StrValue builds a string value.
+func StrValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// BoolValue builds a bool value.
+func BoolValue(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// String renders the scalar the way JSON would.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+}
+
+// Float returns the scalar as a float64 (strings parse, bools are 0/1).
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case KindNumber:
+		return v.Num
+	case KindBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	default:
+		f, _ := strconv.ParseFloat(v.Str, 64)
+		return f
+	}
+}
+
+// Int returns the scalar truncated to an int.
+func (v Value) Int() int { return int(v.Float()) }
+
+// IsTrue returns the scalar as a bool (numbers: non-zero, strings: "true").
+func (v Value) IsTrue() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool
+	case KindNumber:
+		return v.Num != 0
+	default:
+		return v.Str == "true"
+	}
+}
+
+func (v Value) scalarJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindString:
+		return json.Marshal(v.Str)
+	case KindBool:
+		return json.Marshal(v.Bool)
+	default:
+		return json.Marshal(v.Num)
+	}
+}
+
+// MarshalJSON emits a bare scalar when the value carries no decoration.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.Label == "" && v.Samples == 0 && len(v.With) == 0 {
+		return v.scalarJSON()
+	}
+	sc, err := v.scalarJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(struct {
+		Value   json.RawMessage  `json:"value"`
+		Label   string           `json:"label,omitempty"`
+		Samples int              `json:"samples,omitempty"`
+		With    map[string]Value `json:"with,omitempty"`
+	}{Value: sc, Label: v.Label, Samples: v.Samples, With: v.With})
+}
+
+// UnmarshalJSON accepts either form.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	trimmed := trimLeftSpace(b)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var aux struct {
+			Value   json.RawMessage  `json:"value"`
+			Label   string           `json:"label"`
+			Samples int              `json:"samples"`
+			With    map[string]Value `json:"with"`
+		}
+		if err := json.Unmarshal(b, &aux); err != nil {
+			return err
+		}
+		if len(aux.Value) == 0 {
+			return fmt.Errorf("axis value object needs a \"value\" field")
+		}
+		if err := v.unmarshalScalar(aux.Value); err != nil {
+			return err
+		}
+		v.Label, v.Samples, v.With = aux.Label, aux.Samples, aux.With
+		return nil
+	}
+	return v.unmarshalScalar(b)
+}
+
+func (v *Value) unmarshalScalar(b []byte) error {
+	var x any
+	if err := json.Unmarshal(b, &x); err != nil {
+		return err
+	}
+	switch t := x.(type) {
+	case bool:
+		*v = Value{Kind: KindBool, Bool: t}
+	case float64:
+		*v = Value{Kind: KindNumber, Num: t}
+	case string:
+		*v = Value{Kind: KindString, Str: t}
+	default:
+		return fmt.Errorf("axis value must be a number, string or bool, got %s", string(b))
+	}
+	return nil
+}
+
+func trimLeftSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r') {
+		b = b[1:]
+	}
+	return b
+}
+
+// Params is a grid point's resolved parameter bindings (axis name → value,
+// plus any With-bundle entries).
+type Params map[string]Value
+
+// Has reports whether the point binds the parameter.
+func (p Params) Has(name string) bool { _, ok := p[name]; return ok }
+
+// Str returns the parameter as a string, or def when unbound.
+func (p Params) Str(name, def string) string {
+	if v, ok := p[name]; ok {
+		return v.String()
+	}
+	return def
+}
+
+// Float returns the parameter as a float64, or def when unbound.
+func (p Params) Float(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v.Float()
+	}
+	return def
+}
+
+// Int returns the parameter as an int, or def when unbound.
+func (p Params) Int(name string, def int) int {
+	if v, ok := p[name]; ok {
+		return v.Int()
+	}
+	return def
+}
+
+// Bool returns the parameter as a bool, or def when unbound.
+func (p Params) Bool(name string, def bool) bool {
+	if v, ok := p[name]; ok {
+		return v.IsTrue()
+	}
+	return def
+}
+
+func cloneParams(p Params) Params {
+	out := make(Params, len(p)+1)
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// labelFor renders the point-label fragment for one value of the axis.
+func (a Axis) labelFor(v Value) string {
+	if v.Label != "" {
+		return v.Label
+	}
+	if a.LabelFmt == "" {
+		return a.Name + "=" + v.String()
+	}
+	return formatLabel(a.LabelFmt, v)
+}
+
+// formatLabel applies a single-verb fmt string to the value, choosing the
+// Go argument type the verb expects so "%d" grids format identically to the
+// hand-written drivers they replaced.
+func formatLabel(f string, v Value) string {
+	switch verbOf(f) {
+	case 'd', 'b', 'o', 'x', 'X', 'c', 'U':
+		return fmt.Sprintf(f, int64(v.Float()))
+	case 'e', 'E', 'f', 'F', 'g', 'G':
+		return fmt.Sprintf(f, v.Float())
+	case 't':
+		return fmt.Sprintf(f, v.IsTrue())
+	default:
+		return fmt.Sprintf(f, v.String())
+	}
+}
+
+// verbOf finds the first real fmt verb in the format string.
+func verbOf(f string) byte {
+	for i := 0; i < len(f); i++ {
+		if f[i] != '%' {
+			continue
+		}
+		if i+1 < len(f) && f[i+1] == '%' {
+			i++
+			continue
+		}
+		for j := i + 1; j < len(f); j++ {
+			c := f[j]
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				return c
+			}
+		}
+	}
+	return 0
+}

@@ -324,3 +324,17 @@ func All() []Generator {
 		S3DGen(38 * 1024 * 1024),
 	}
 }
+
+// ByName looks a generator up by its All() name; "pixie3d-xl" is accepted
+// as a spelling of the space-containing "pixie3d-extra large".
+func ByName(name string) (Generator, bool) {
+	if name == "pixie3d-xl" {
+		name = "pixie3d-extra large"
+	}
+	for _, g := range All() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
