@@ -58,23 +58,51 @@ func BenchmarkFig1AggregateBandwidth(b *testing.B) {
 // BenchmarkTableIExternalInterference regenerates Table I's Jaguar row at
 // 1/8 scale: each iteration is one hourly IOR sample; the CoV across the
 // iterations is reported (the paper's "Covariance" column).
+// The fresh/reuse sub-benchmarks produce bit-identical samples — reuse rents
+// each iteration's world from a pool and resets it instead of rebuilding, so
+// the ns/op ratio is the world-reuse speedup on this shape.
 func BenchmarkTableIExternalInterference(b *testing.B) {
-	var acc []float64
-	for i := 0; i < b.N; i++ {
-		c := cluster.Jaguar(cluster.Config{Seed: int64(i) * 101, NumOSTs: 64, ProductionNoise: true})
+	sample := func(b *testing.B, c *cluster.Cluster) float64 {
+		b.Helper()
 		res, err := ior.Execute(c.FileSystem(), ior.Config{
 			Writers:        64,
 			BytesPerWriter: 64 * pfs.MB,
 		})
-		c.Shutdown()
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = append(acc, res.AggregateBW/pfs.MB)
+		return res.AggregateBW / pfs.MB
 	}
-	if len(acc) > 1 {
-		b.ReportMetric(metrics.Summarize(acc).CoV()*100, "CoV-%")
+	report := func(b *testing.B, acc []float64) {
+		if len(acc) > 1 {
+			b.ReportMetric(metrics.Summarize(acc).CoV()*100, "CoV-%")
+		}
 	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc []float64
+		for i := 0; i < b.N; i++ {
+			c := cluster.Jaguar(cluster.Config{Seed: int64(i) * 101, NumOSTs: 64, ProductionNoise: true})
+			acc = append(acc, sample(b, c))
+			c.Shutdown()
+		}
+		report(b, acc)
+	})
+	b.Run("reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := cluster.NewPool()
+		defer pool.Close()
+		var acc []float64
+		for i := 0; i < b.N; i++ {
+			c, err := pool.Rent("jaguar", cluster.Config{Seed: int64(i) * 101, NumOSTs: 64, ProductionNoise: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = append(acc, sample(b, c))
+			pool.Return(c)
+		}
+		report(b, acc)
+	})
 }
 
 // BenchmarkFig2Histograms builds the Figure 2 histogram from freshly drawn
@@ -118,6 +146,11 @@ func BenchmarkFig3Imbalance(b *testing.B) {
 // and reports the mean adaptive-over-MPI speedup (the paper's headline).
 func benchEval(b *testing.B, gen workloads.Generator, procs int, cond experiments.Condition) {
 	b.Helper()
+	// One pool for the whole benchmark: every campaign reuses the same 84-OST
+	// Jaguar world instead of rebuilding it (REPRO_NO_REUSE=1 restores the
+	// build-fresh baseline).
+	pool := cluster.NewPool()
+	defer pool.Close()
 	var mpiSum, adaSum float64
 	for i := 0; i < b.N; i++ {
 		for _, method := range []adios.Method{adios.MethodMPI, adios.MethodAdaptive} {
@@ -133,6 +166,7 @@ func benchEval(b *testing.B, gen workloads.Generator, procs int, cond experiment
 				Seed:       int64(i) * 31,
 				PerRank:    gen.PerRank,
 				NumOSTs:    84,
+				Pool:       pool,
 			})
 			if err != nil {
 				b.Fatal(err)

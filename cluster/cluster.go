@@ -58,10 +58,21 @@ type Cluster struct {
 	msgLat  time.Duration
 
 	artificial []*interference.Artificial
+
+	// noiseCache keeps the production-noise generator alive across Reset
+	// even through noise-off replicas, so a later noise-on replica on the
+	// same world re-arms it instead of rebuilding per-OST streams.
+	noiseCache *interference.Noise
+
+	// key identifies the pool bucket this world was rented from (set by
+	// Pool.Rent; empty for worlds built outside a pool).
+	key poolKey
 }
 
 // Preset builds a cluster from a machine preset name: "jaguar", "franklin",
-// or "xtp" (case-insensitive on the first letter as a convenience).
+// or "xtp" (case-insensitive on the first letter as a convenience). This is
+// the single error-returning construction path; the named wrappers below
+// delegate to it via mustPreset.
 func Preset(name string, cfg Config) (*Cluster, error) {
 	m, ok := machines.ByName(name, cfg.Seed)
 	if !ok {
@@ -70,41 +81,59 @@ func Preset(name string, cfg Config) (*Cluster, error) {
 	return fromMachine(m, cfg)
 }
 
-// Jaguar builds the ORNL Jaguar preset (672-OST Lustre scratch).
-func Jaguar(cfg Config) *Cluster {
-	c, err := fromMachine(machines.Jaguar(cfg.Seed), cfg)
-	if err != nil {
-		panic(err) // presets cannot fail validation
-	}
-	return c
-}
-
-// Franklin builds the NERSC Franklin preset (96-OST Lustre).
-func Franklin(cfg Config) *Cluster {
-	c, err := fromMachine(machines.Franklin(cfg.Seed), cfg)
+// mustPreset wraps Preset for the named constructors, whose machine names
+// are known and whose preset configurations are validated by tests — the
+// only errors Preset can return for them are programming mistakes, so
+// panicking is documented behaviour rather than an API inconsistency.
+func mustPreset(name string, cfg Config) *Cluster {
+	c, err := Preset(name, cfg)
 	if err != nil {
 		panic(err)
 	}
 	return c
 }
 
-// XTP builds the Sandia XTP preset (40-blade PanFS).
-func XTP(cfg Config) *Cluster {
-	c, err := fromMachine(machines.XTP(cfg.Seed), cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
+// Jaguar builds the ORNL Jaguar preset (672-OST Lustre scratch). It cannot
+// fail for valid Config values and panics on programming errors; use
+// Preset("jaguar", cfg) for an error-returning path.
+func Jaguar(cfg Config) *Cluster { return mustPreset("jaguar", cfg) }
 
-func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
-	k := simkernel.New()
+// Franklin builds the NERSC Franklin preset (96-OST Lustre). It cannot fail
+// for valid Config values and panics on programming errors; use
+// Preset("franklin", cfg) for an error-returning path.
+func Franklin(cfg Config) *Cluster { return mustPreset("franklin", cfg) }
+
+// XTP builds the Sandia XTP preset (40-blade PanFS). It cannot fail for
+// valid Config values and panics on programming errors; use
+// Preset("xtp", cfg) for an error-returning path.
+func XTP(cfg Config) *Cluster { return mustPreset("xtp", cfg) }
+
+// fsConfigFor resolves the file-system configuration a Config implies on
+// machine m (shared by construction and Reset so both produce identical
+// worlds).
+func fsConfigFor(m machines.Machine, cfg Config) pfs.Config {
 	fsCfg := m.FS
 	fsCfg.Seed = cfg.Seed
 	if cfg.NumOSTs > 0 {
 		fsCfg.NumOSTs = cfg.NumOSTs
 	}
-	fs, err := pfs.New(k, fsCfg)
+	return fsCfg
+}
+
+// noiseConfigFor resolves the production-noise configuration a Config
+// implies on machine m (shared by construction and Reset).
+func noiseConfigFor(m machines.Machine, cfg Config) interference.NoiseConfig {
+	noiseCfg := m.Noise
+	noiseCfg.Seed = cfg.Seed + 1
+	if !noiseCfg.Enabled {
+		noiseCfg = interference.DefaultProduction(cfg.Seed + 1)
+	}
+	return noiseCfg
+}
+
+func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
+	k := simkernel.New()
+	fs, err := pfs.New(k, fsConfigFor(m, cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -116,14 +145,44 @@ func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
 		msgLat:  cfg.MessageLatency,
 	}
 	if cfg.ProductionNoise {
-		noiseCfg := m.Noise
-		noiseCfg.Seed = cfg.Seed + 1
-		if !noiseCfg.Enabled {
-			noiseCfg = interference.DefaultProduction(cfg.Seed + 1)
-		}
-		c.noise = interference.Start(fs, noiseCfg)
+		c.noise = interference.Start(fs, noiseConfigFor(m, cfg))
+		c.noiseCache = c.noise
 	}
 	return c, nil
+}
+
+// Reset re-arms the cluster for a new replica without rebuilding it,
+// producing a world indistinguishable from Preset(c.Name(), cfg): the kernel
+// is reset (recycling every process goroutine), the file system reseeded in
+// place, artificial-interference handles dropped, and production noise
+// re-armed (or torn down) to match cfg. A Reset world runs a replica
+// bit-identically to a freshly constructed one — the determinism contract
+// the pool's golden tests pin down.
+//
+// On error the world is unusable (the kernel has already been reset) and
+// must be Shutdown, which is what Pool.Rent does before falling back to
+// fresh construction.
+func (c *Cluster) Reset(cfg Config) error {
+	c.kernel.Reset()
+	if err := c.fs.Reset(fsConfigFor(c.machine, cfg)); err != nil {
+		return err
+	}
+	c.msgLat = cfg.MessageLatency
+	for i := range c.artificial {
+		c.artificial[i] = nil
+	}
+	c.artificial = c.artificial[:0]
+	c.noise = nil
+	if cfg.ProductionNoise {
+		noiseCfg := noiseConfigFor(c.machine, cfg)
+		if c.noiseCache != nil && c.noiseCache.CanReset(noiseCfg) {
+			c.noiseCache.Reset(noiseCfg)
+		} else {
+			c.noiseCache = interference.Start(c.fs, noiseCfg)
+		}
+		c.noise = c.noiseCache
+	}
+	return nil
 }
 
 // Name returns the machine preset's name.

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/ior"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// iorProbe runs a small IOR workload on the cluster and returns its
+// per-writer times — a fingerprint of the whole world (noise draws, MDS
+// service times, fluid-model evolution).
+func iorProbe(t testing.TB, c *Cluster) []float64 {
+	t.Helper()
+	r, err := ior.Execute(c.FileSystem(), ior.Config{
+		Writers:        8,
+		BytesPerWriter: 64 * pfs.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.WriterTimes
+}
+
+func sameTimes(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterResetBitIdentical is the cluster-level determinism contract: a
+// world dirtied by one replica and Reset for another replays that replica
+// bit-identically to a freshly built world — production noise, artificial
+// interference and slow-OST staging included.
+func TestClusterResetBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 42, NumOSTs: 16, ProductionNoise: true}
+
+	run := func(c *Cluster) []float64 {
+		c.SlowOST(3, 0.5)
+		c.StartArtificialInterference(nil, 0, 0)
+		return iorProbe(t, c)
+	}
+
+	fresh := Jaguar(cfg)
+	want := run(fresh)
+	fresh.Shutdown()
+
+	reused := Jaguar(Config{Seed: 7, NumOSTs: 16, ProductionNoise: true})
+	defer reused.Shutdown()
+	run(reused) // dirty the world with a different replica
+	if err := reused.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(reused); !sameTimes(got, want) {
+		t.Fatalf("reset world diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestClusterResetNoiseToggle covers the noise cache across noise-off
+// replicas: noise on → off → on again must still replay bit-identically,
+// and the off replica must see a clean machine.
+func TestClusterResetNoiseToggle(t *testing.T) {
+	on := Config{Seed: 9, NumOSTs: 8, ProductionNoise: true}
+	off := Config{Seed: 9, NumOSTs: 8}
+
+	fresh := Jaguar(on)
+	want := iorProbe(t, fresh)
+	fresh.Shutdown()
+
+	freshOff := Jaguar(off)
+	wantOff := iorProbe(t, freshOff)
+	freshOff.Shutdown()
+
+	c := Jaguar(on)
+	defer c.Shutdown()
+	iorProbe(t, c)
+	if err := c.Reset(off); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.NumOSTs(); i++ {
+		o := c.FileSystem().OST(i)
+		if o.SlowFactor() != 1 || o.ExternalStreams() != 0 {
+			t.Fatalf("noise-off reset left OST %d perturbed", i)
+		}
+	}
+	if got := iorProbe(t, c); !sameTimes(got, wantOff) {
+		t.Fatalf("noise-off replica on reused world diverged")
+	}
+	if err := c.Reset(on); err != nil {
+		t.Fatal(err)
+	}
+	if got := iorProbe(t, c); !sameTimes(got, want) {
+		t.Fatalf("noise-on replica after off replica diverged from fresh world")
+	}
+}
+
+// TestPoolRentReusesWorld pins the pool mechanics: same-shape rentals get
+// the same world back (reset), different shapes get different worlds, and
+// worlds from a nil pool are simply fresh.
+func TestPoolRentReusesWorld(t *testing.T) {
+	p := &Pool{worlds: make(map[poolKey]*Cluster)}
+	defer p.Close()
+
+	a, err := p.Rent("xtp", Config{Seed: 1, NumOSTs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Return(a)
+	b, err := p.Rent("xtp", Config{Seed: 2, NumOSTs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same-shape rental did not reuse the returned world")
+	}
+	other, err := p.Rent("xtp", Config{Seed: 2, NumOSTs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == b {
+		t.Fatal("different OST count must not share a world")
+	}
+	p.Return(b)
+	p.Return(other)
+
+	var nilPool *Pool
+	c, err := nilPool.Rent("xtp", Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilPool.Return(c) // shuts the fresh world down
+	if _, err := nilPool.Rent("nonexistent", Config{}); err == nil {
+		t.Fatal("nil pool must surface Preset errors")
+	}
+}
+
+// TestPoolRentSurvivesDirtyReturn is the poison test: a world returned
+// mid-flight (flows in progress, writers parked — the state an errored or
+// abandoned replica leaves behind) must still produce bit-identical results
+// on its next rental.
+func TestPoolRentSurvivesDirtyReturn(t *testing.T) {
+	cfg := Config{Seed: 21, NumOSTs: 8, ProductionNoise: true}
+
+	fresh := Jaguar(cfg)
+	want := iorProbe(t, fresh)
+	fresh.Shutdown()
+
+	p := &Pool{worlds: make(map[poolKey]*Cluster)}
+	defer p.Close()
+	dirty, err := p.Rent("jaguar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon a replica mid-write: launch the workload but only advance the
+	// clock partway, leaving parked writers and in-flight flows.
+	if _, err := ior.Launch(dirty.FileSystem(), ior.Config{Writers: 8, BytesPerWriter: 64 * pfs.MB}); err != nil {
+		t.Fatal(err)
+	}
+	dirty.RunFor(simkernel.FromSeconds(0.05).Duration())
+	p.Return(dirty)
+
+	c, err := p.Rent("jaguar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Return(c)
+	if c != dirty {
+		t.Fatal("expected the dirty world back")
+	}
+	if got := iorProbe(t, c); !sameTimes(got, want) {
+		t.Fatalf("world dirtied by an abandoned replica diverged after reset:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestWorldReuseZeroAlloc gates the tentpole's allocation claim: the
+// steady-state rent → run → (reset) → return cycle on a warmed, noise-free
+// world allocates nothing. The seed is fixed — steady state means the RNG
+// seed-expansion caches are warm, as in a benchmark's repeated replicas.
+func TestWorldReuseZeroAlloc(t *testing.T) {
+	p := &Pool{worlds: make(map[poolKey]*Cluster)}
+	defer p.Close()
+	cfg := Config{Seed: 42, NumOSTs: 4}
+
+	var cur *Cluster
+	body := func(pr *simkernel.Proc) {
+		cur.FileSystem().OST(pr.ID() % 4).Write(pr, 1000)
+	}
+	cycle := func() {
+		c, err := p.Rent("xtp", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = c
+		k := c.Kernel()
+		for i := 0; i < 4; i++ {
+			k.Spawn("w", body)
+		}
+		k.Run()
+		p.Return(c)
+	}
+	cycle() // builds the world
+	cycle() // warms the reuse path
+	got := testing.AllocsPerRun(100, cycle)
+	if got != 0 {
+		t.Fatalf("rent/run/reset/return cycle allocates %v allocs/op in steady state; want 0", got)
+	}
+}
+
+// BenchmarkReplicaSetupTeardown isolates per-replica world lifecycle cost:
+// fresh-build (construct + shutdown, the pre-reuse path) versus reset (the
+// pooled path). The workload itself is excluded — this is the overhead the
+// reuse layer amortises. Run with -benchmem: the allocs/op ratio is the
+// ISSUE's ≥10× claim.
+func BenchmarkReplicaSetupTeardown(b *testing.B) {
+	cfg := Config{Seed: 42, NumOSTs: 64, ProductionNoise: true}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := Jaguar(cfg)
+			c.Shutdown()
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		b.ReportAllocs()
+		c := Jaguar(cfg)
+		defer c.Shutdown()
+		if err := c.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Reset(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

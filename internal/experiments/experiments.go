@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/adios"
+	"repro/cluster"
 	"repro/internal/iomethod"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -65,6 +66,9 @@ type CampaignOptions struct {
 	PerRank func(rank int) iomethod.RankData
 	// NumOSTs optionally scales the machine down (0 = preset size).
 	NumOSTs int
+	// Pool, if non-nil, supplies a reusable simulation world for this
+	// campaign (reset between rentals); nil builds a fresh world.
+	Pool *cluster.Pool
 }
 
 // CampaignResult is one sample's outcome.
@@ -90,6 +94,7 @@ func RunCampaign(opt CampaignOptions) (CampaignResult, error) {
 		IO:           adios.Options{Method: opt.Method, OSTs: opt.MethodOSTs},
 		PerRank:      opt.PerRank,
 		Interference: opt.Condition == Interference,
+		Pool:         opt.Pool,
 	})
 	if err != nil {
 		return CampaignResult{}, err

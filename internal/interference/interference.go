@@ -82,7 +82,10 @@ func DefaultProduction(seed int64) NoiseConfig {
 	}
 }
 
-// Noise is a running production-noise generator.
+// Noise is a running production-noise generator. A Noise built by Start can
+// be re-armed for a later replica with Reset (after the owning kernel and
+// file system have been Reset), reusing its derived streams, Markov
+// processes, spawn names and process bodies instead of rebuilding them.
 type Noise struct {
 	fs  *pfs.FileSystem
 	cfg NoiseConfig
@@ -91,6 +94,17 @@ type Noise struct {
 	global  float64   // current machine-wide busy factor (0,1]
 	perOST  []ostMood // per-target state
 	stopped bool
+
+	// Reuse machinery, built once by Start and re-armed in place by Reset.
+	grng       *rngx.Source
+	hrng       *rngx.Source
+	ostRng     []*rngx.Source
+	ostLabels  []string // stream-derivation labels "ost-%d"
+	ostNames   []string // spawn names "noise-ost%d"
+	mm         []*rngx.MarkovOnOff
+	globalBody func(p *simkernel.Proc)
+	hotBody    func(p *simkernel.Proc)
+	ostBodies  []func(p *simkernel.Proc)
 }
 
 type ostMood struct {
@@ -112,33 +126,44 @@ func Start(fs *pfs.FileSystem, cfg NoiseConfig) *Noise {
 	if !cfg.Enabled {
 		return n
 	}
-	k := fs.K
+	n.build()
+	n.arm()
+	return n
+}
 
-	// Global busy factor process.
-	if cfg.GlobalCV > 0 {
-		grng := n.rng.Derive("global")
-		n.global = n.drawGlobal(grng)
-		n.applyAll()
-		k.Spawn("noise-global", func(p *simkernel.Proc) {
+// build constructs the derived streams, Markov processes, cached names and
+// process bodies. Derivation order is part of the reproducibility contract:
+// global, then one stream per OST in index order, then hot. The bodies read
+// their parameters through n.cfg, so Reset can retune them without
+// rebuilding the closures.
+func (n *Noise) build() {
+	if n.cfg.GlobalCV > 0 {
+		n.grng = n.rng.Derive("global")
+		n.globalBody = func(p *simkernel.Proc) {
 			for !n.stopped {
-				p.SleepSeconds(grng.Exp(maxf(cfg.GlobalMeanEpisode, 1)))
-				n.global = n.drawGlobal(grng)
+				p.SleepSeconds(n.grng.Exp(maxf(n.cfg.GlobalMeanEpisode, 1)))
+				n.global = n.drawGlobal(n.grng)
 				n.applyAll()
 			}
-		})
+		}
 	}
 
-	// Per-OST busy episodes: one lightweight process per target.
-	if cfg.PerOSTMeanOn > 0 && cfg.PerOSTMeanOff > 0 {
-		for i := range fs.OSTs {
+	if n.cfg.PerOSTMeanOn > 0 && n.cfg.PerOSTMeanOff > 0 {
+		numOSTs := len(n.fs.OSTs)
+		n.ostRng = make([]*rngx.Source, numOSTs)
+		n.ostLabels = make([]string, numOSTs)
+		n.ostNames = make([]string, numOSTs)
+		n.mm = make([]*rngx.MarkovOnOff, numOSTs)
+		n.ostBodies = make([]func(p *simkernel.Proc), numOSTs)
+		for i := 0; i < numOSTs; i++ {
 			i := i
-			orng := n.rng.Derive(fmt.Sprintf("ost-%d", i))
-			mm := rngx.NewMarkovOnOff(orng, cfg.PerOSTMeanOn, cfg.PerOSTMeanOff)
-			if mm.On() {
-				n.perOST[i].busyStreams = n.drawStreams(orng)
-			}
-			n.apply(i)
-			k.Spawn(fmt.Sprintf("noise-ost%d", i), func(p *simkernel.Proc) {
+			n.ostLabels[i] = fmt.Sprintf("ost-%d", i)
+			n.ostNames[i] = fmt.Sprintf("noise-ost%d", i)
+			orng := n.rng.Derive(n.ostLabels[i])
+			n.ostRng[i] = orng
+			mm := rngx.NewMarkovOnOff(orng, n.cfg.PerOSTMeanOn, n.cfg.PerOSTMeanOff)
+			n.mm[i] = mm
+			n.ostBodies[i] = func(p *simkernel.Proc) {
 				for !n.stopped {
 					p.SleepSeconds(mm.NextTransition())
 					mm.Advance(mm.NextTransition())
@@ -149,38 +174,108 @@ func Start(fs *pfs.FileSystem, cfg NoiseConfig) *Noise {
 					}
 					n.apply(i)
 				}
-			})
+			}
 		}
 	}
 
-	// Hot-OST episodes.
-	if cfg.HotMeanEvery > 0 && cfg.HotOSTs > 0 {
-		hrng := n.rng.Derive("hot")
-		k.Spawn("noise-hot", func(p *simkernel.Proc) {
+	if n.cfg.HotMeanEvery > 0 && n.cfg.HotOSTs > 0 {
+		n.hrng = n.rng.Derive("hot")
+		n.hotBody = func(p *simkernel.Proc) {
 			for !n.stopped {
-				p.SleepSeconds(hrng.Exp(cfg.HotMeanEvery))
+				p.SleepSeconds(n.hrng.Exp(n.cfg.HotMeanEvery))
 				if n.stopped {
 					return
 				}
-				dur := hrng.Exp(maxf(cfg.HotDuration, 1))
+				dur := n.hrng.Exp(maxf(n.cfg.HotDuration, 1))
 				until := p.Now() + simkernel.FromSeconds(dur)
 				// Strike a contiguous band of targets (analysis reads hit
 				// the stripes of one recent output, which are adjacent).
-				start := hrng.Intn(len(fs.OSTs))
-				for j := 0; j < cfg.HotOSTs; j++ {
-					idx := (start + j) % len(fs.OSTs)
+				start := n.hrng.Intn(len(n.fs.OSTs))
+				for j := 0; j < n.cfg.HotOSTs; j++ {
+					idx := (start + j) % len(n.fs.OSTs)
 					n.perOST[idx].hotUntil = until
-					n.perOST[idx].hotFactor = cfg.HotSlowFactor *
-						(0.75 + 0.5*hrng.Float64()) // 0.75x–1.25x severity spread
+					n.perOST[idx].hotFactor = n.cfg.HotSlowFactor *
+						(0.75 + 0.5*n.hrng.Float64()) // 0.75x–1.25x severity spread
 					n.apply(idx)
 					idx2 := idx
-					k.At(until, func() { n.apply(idx2) })
+					n.fs.K.At(until, func() { n.apply(idx2) })
 				}
 			}
-		})
+		}
 	}
+}
 
-	return n
+// arm draws the initial noise state and spawns the processes. Per-stream
+// draw order matches the original inline construction: the global factor
+// draws from its own stream, each per-OST stream draws its Markov state at
+// build/Reinit time and then (if busy) its stream count here, so splitting
+// construction from arming leaves every stream's sequence intact.
+func (n *Noise) arm() {
+	k := n.fs.K
+	if n.grng != nil {
+		n.global = n.drawGlobal(n.grng)
+		n.applyAll()
+		k.Spawn("noise-global", n.globalBody)
+	}
+	for i := range n.mm {
+		if n.mm[i].On() {
+			n.perOST[i].busyStreams = n.drawStreams(n.ostRng[i])
+		}
+		n.apply(i)
+		k.Spawn(n.ostNames[i], n.ostBodies[i])
+	}
+	if n.hrng != nil {
+		k.Spawn("noise-hot", n.hotBody)
+	}
+}
+
+// CanReset reports whether Reset(cfg) can re-arm this Noise in place: the
+// configuration must keep the same structure (the same sub-processes
+// enabled) and the file system the same target count. Parameter values
+// (means, CVs, factors, seed) are free to change.
+func (n *Noise) CanReset(cfg NoiseConfig) bool {
+	return n.cfg.Enabled == cfg.Enabled &&
+		(n.cfg.GlobalCV > 0) == (cfg.GlobalCV > 0) &&
+		(n.cfg.PerOSTMeanOn > 0 && n.cfg.PerOSTMeanOff > 0) ==
+			(cfg.PerOSTMeanOn > 0 && cfg.PerOSTMeanOff > 0) &&
+		(n.cfg.HotMeanEvery > 0 && n.cfg.HotOSTs > 0) ==
+			(cfg.HotMeanEvery > 0 && cfg.HotOSTs > 0) &&
+		len(n.perOST) == len(n.fs.OSTs)
+}
+
+// Reset re-arms the noise for a new replica, reseeding every stream to the
+// state Start(fs, cfg) would construct and re-spawning the processes (the
+// owning kernel must already have been Reset, which unwound the previous
+// replica's bodies and recycled their goroutines). CanReset(cfg) must hold.
+func (n *Noise) Reset(cfg NoiseConfig) {
+	if !n.CanReset(cfg) {
+		panic("interference: Reset with structurally different config (check CanReset)")
+	}
+	n.cfg = cfg
+	n.stopped = false
+	n.global = 1
+	for i := range n.perOST {
+		n.perOST[i] = ostMood{}
+	}
+	if !cfg.Enabled {
+		return
+	}
+	// Reseed in construction order: the master stream yields one derivation
+	// draw per sub-stream, exactly as build's Derive calls consumed.
+	n.rng.ReseedNamed(cfg.Seed, "interference")
+	if n.grng != nil {
+		n.grng.ReseedNamed(n.rng.Int63(), "global")
+	}
+	for i, orng := range n.ostRng {
+		orng.ReseedNamed(n.rng.Int63(), n.ostLabels[i])
+		m := n.mm[i]
+		m.MeanOn, m.MeanOff = cfg.PerOSTMeanOn, cfg.PerOSTMeanOff
+		m.Reinit()
+	}
+	if n.hrng != nil {
+		n.hrng.ReseedNamed(n.rng.Int63(), "hot")
+	}
+	n.arm()
 }
 
 func maxf(a, b float64) float64 {

@@ -68,6 +68,39 @@ func New(k *simkernel.Kernel, cfg Config) (*FileSystem, error) {
 	return fs, nil
 }
 
+// Reset re-arms the file system for a new configuration without rebuilding
+// it, producing a world bit-identical to New(k, cfg) on a fresh kernel: the
+// RNG streams are reseeded in the exact construction draw order, the OST set
+// is resized and each target's fluid state zeroed, the MDS re-sized, and the
+// namespace cleared. The owning kernel must already have been Reset (clock at
+// zero, no pending events). The OST count may differ from the previous run;
+// every other knob is taken from cfg just as New does.
+func (fs *FileSystem) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fs.Cfg = cfg // OSTs and MDS read through &fs.Cfg, so this re-points every knob
+	fs.rng.ReseedNamed(cfg.Seed, "pfs")
+	if cfg.NumOSTs < len(fs.OSTs) {
+		for i := cfg.NumOSTs; i < len(fs.OSTs); i++ {
+			fs.OSTs[i] = nil
+		}
+		fs.OSTs = fs.OSTs[:cfg.NumOSTs]
+	}
+	for _, o := range fs.OSTs {
+		o.reset()
+	}
+	for i := len(fs.OSTs); i < cfg.NumOSTs; i++ {
+		fs.OSTs = append(fs.OSTs, newOST(fs.K, &fs.Cfg, i))
+	}
+	// Construction order parity with New: building the OSTs draws nothing,
+	// then deriving the MDS stream consumes exactly one Int63.
+	fs.MDS.reset(&fs.Cfg, fs.rng.Int63())
+	clear(fs.files)
+	fs.nextOST = 0
+	return nil
+}
+
 // MustNew is New for tests and examples where the config is known-good.
 func MustNew(k *simkernel.Kernel, cfg Config) *FileSystem {
 	fs, err := New(k, cfg)

@@ -36,6 +36,17 @@ func newMDS(k *simkernel.Kernel, cfg *Config, src *rngx.Source) *MDS {
 	}
 }
 
+// reset re-arms the MDS for a new configuration in place: the service
+// resource is re-sized, the service-time stream reseeded to the state
+// newMDS's derived source would start in, and the counters cleared.
+func (m *MDS) reset(cfg *Config, seed int64) {
+	m.res.Reset(cfg.MDSCapacity)
+	m.src.ReseedNamed(seed, "mds")
+	m.mean = cfg.MDSServiceMean
+	m.cv = cfg.MDSServiceCV
+	m.Stats = MDSStats{}
+}
+
 // Op performs one metadata operation (open, create, stat, close) on behalf
 // of process p, blocking for queueing plus service time.
 func (m *MDS) Op(p *simkernel.Proc) {

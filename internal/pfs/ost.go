@@ -95,6 +95,37 @@ func newOST(k *simkernel.Kernel, cfg *Config, id int) *OST {
 	return o
 }
 
+// reset returns the OST to its freshly constructed state for a new
+// configuration, recycling the flow records, waiter slice and water-fill
+// scratch. The owning kernel has already been Reset, so pending boundary
+// timers are gone and the clock is back at zero.
+func (o *OST) reset() {
+	for i, f := range o.flows {
+		*f = flow{}
+		o.freeFlows = append(o.freeFlows, f)
+		o.flows[i] = nil
+	}
+	o.flows = o.flows[:0]
+	for i := range o.waiters {
+		o.waiters[i] = flushWaiter{}
+	}
+	o.waiters = o.waiters[:0]
+	o.extStreams = 0
+	o.slowFactor = 1
+	o.ingestFactor = 1
+	o.cacheLevel = 0
+	o.ingestedTotal = 0
+	o.drainedTotal = 0
+	o.drainRate = 0
+	o.effCache = o.cfg.CacheBytes
+	o.lastUpdate = o.k.Now()
+	o.boundary = simkernel.Timer{}
+	o.planValid = false
+	o.planCacheFull = false
+	o.planInflow = 0
+	o.Stats = OSTStats{}
+}
+
 // ExternalStreams returns the current external competing stream count.
 func (o *OST) ExternalStreams() int { return o.extStreams }
 

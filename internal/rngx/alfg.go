@@ -37,21 +37,21 @@ func newAlfg(seed int64) *alfgSource {
 	return s
 }
 
-// alfgSeedrand advances the seeding LCG: x[n+1] = 48271*x[n] mod (2^31-1),
-// in Schrage form exactly as math/rand computes it.
+// alfgSeedrand advances the seeding LCG: x[n+1] = 48271*x[n] mod (2^31-1).
+// math/rand uses Schrage's decomposition (two divisions) to avoid 32-bit
+// overflow; with 64-bit arithmetic the product fits directly and the modulus
+// is the Mersenne prime 2^31-1, so a fold (2^31 ≡ 1 mod M) plus one
+// conditional subtraction yields the identical residue division-free. The
+// expansion chain is 1861 serially dependent steps, so this latency is the
+// whole cost of a cache-miss Seed — which world reuse pays once per derived
+// stream per replica.
 func alfgSeedrand(x int32) int32 {
-	const (
-		a = 48271
-		q = 44488
-		r = 3399
-	)
-	hi := x / q
-	lo := x % q
-	x = a*lo - r*hi
-	if x < 0 {
-		x += alfgInt32Max
+	y := uint64(x) * 48271
+	y = (y & alfgInt32Max) + (y >> 31)
+	if y >= alfgInt32Max {
+		y -= alfgInt32Max
 	}
-	return x
+	return int32(y)
 }
 
 // alfgKey reduces a seed the way rngSource.Seed does; seeds equal mod
@@ -67,21 +67,53 @@ func alfgKey(seed int64) int32 {
 	return int32(seed)
 }
 
-// expand fills vec from a reduced seed: the LCG warm-up plus three chained
-// draws per word, XORed with the cooked constants.
+// alfgModmul is x*y mod (2^31-1) for x, y < 2^31: the product fits in 62
+// bits, so two Mersenne folds and a conditional subtraction reduce it
+// exactly.
+func alfgModmul(x, y uint64) uint64 {
+	p := x * y
+	p = (p & alfgInt32Max) + (p >> 31)
+	p = (p & alfgInt32Max) + (p >> 31)
+	if p >= alfgInt32Max {
+		p -= alfgInt32Max
+	}
+	return p
+}
+
+// alfgJump[i] = 48271^(21+3i) mod (2^31-1): the LCG state entering word i of
+// the expansion. The seeding LCG is multiplicative, so its n-th state has
+// the closed form a^n*key mod M; precomputing the power for each word turns
+// the 1861-step serial dependency chain of math/rand's expansion into 607
+// independent per-word computations the CPU can overlap.
+var alfgJump [alfgLen]uint64
+
+func init() {
+	const a = 48271
+	x := uint64(1)
+	for n := 0; n < 21; n++ {
+		x = alfgModmul(x, a)
+	}
+	step := alfgModmul(alfgModmul(a, a), a)
+	for i := 0; i < alfgLen; i++ {
+		alfgJump[i] = x
+		x = alfgModmul(x, step)
+	}
+}
+
+// expand fills vec from a reduced seed: three LCG draws per word, XORed
+// with the cooked constants — bit-identical to math/rand's chained walk,
+// jump-started per word via alfgJump.
 func (s *alfgSource) expand(key int32) {
-	x := key
-	for i := -20; i < alfgLen; i++ {
-		x = alfgSeedrand(x)
-		if i >= 0 {
-			u := int64(x) << 40
-			x = alfgSeedrand(x)
-			u ^= int64(x) << 20
-			x = alfgSeedrand(x)
-			u ^= int64(x)
-			u ^= alfgCooked[i]
-			s.vec[i] = u
-		}
+	k := uint64(key)
+	for i := 0; i < alfgLen; i++ {
+		x1 := int32(alfgModmul(alfgJump[i], k))
+		x2 := alfgSeedrand(x1)
+		x3 := alfgSeedrand(x2)
+		u := int64(x1) << 40
+		u ^= int64(x2) << 20
+		u ^= int64(x3)
+		u ^= alfgCooked[i]
+		s.vec[i] = u
 	}
 }
 

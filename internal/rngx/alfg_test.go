@@ -83,3 +83,24 @@ func BenchmarkMathRandSeed(b *testing.B) {
 		src.Seed(2010)
 	}
 }
+
+// BenchmarkAlfgSeedCold measures the full register expansion (never-seen
+// seeds, as every replica's derived streams are under world reuse): the
+// jump-ahead form of the math/rand walk, bypassing the memo.
+func BenchmarkAlfgSeedCold(b *testing.B) {
+	b.ReportAllocs()
+	var s alfgSource
+	for i := 0; i < b.N; i++ {
+		s.expand(alfgKey(int64(i + 1)))
+	}
+}
+
+// BenchmarkMathRandSeedCold is BenchmarkAlfgSeedCold's stdlib baseline —
+// the serial 1861-step chain the jump table replaces.
+func BenchmarkMathRandSeedCold(b *testing.B) {
+	b.ReportAllocs()
+	src := rand.NewSource(1)
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i + 1))
+	}
+}

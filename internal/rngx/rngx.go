@@ -10,7 +10,6 @@
 package rngx
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -31,9 +30,35 @@ func New(seed int64) *Source {
 // NewNamed derives an independent stream from a master seed and a name.
 // The same (seed, name) pair always yields the same stream.
 func NewNamed(seed int64, name string) *Source {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return New(seed ^ int64(h.Sum64()))
+	return New(seed ^ int64(fnv64a(name)))
+}
+
+// Reseed re-initialises the stream in place to the exact state New(seed)
+// produces. It allocates nothing when the seed's expanded register is
+// already memoised, which is what lets reused simulation worlds re-arm
+// their streams per replica without rebuilding them.
+func (s *Source) Reseed(seed int64) { s.r.Seed(seed) }
+
+// ReseedNamed is Reseed with NewNamed's seed/name mixing: the stream ends
+// in the exact state NewNamed(seed, name) produces.
+func (s *Source) ReseedNamed(seed int64, name string) {
+	s.r.Seed(seed ^ int64(fnv64a(name)))
+}
+
+// fnv64a is hash/fnv's 64-bit FNV-1a over a string, inlined so name-keyed
+// stream derivation does not allocate a hasher (equivalence with hash/fnv
+// is pinned by TestFNV64aMatchesStdlib).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood): a bijective
@@ -57,12 +82,10 @@ func splitmix64(x uint64) uint64 {
 func DeriveSeed(master int64, labels ...string) int64 {
 	z := splitmix64(uint64(master))
 	for _, l := range labels {
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(l))
 		// Hashing labels separately (rather than concatenating) keeps
 		// ("ab","c") and ("a","bc") on different chains; the sequential
 		// mixing makes label order significant.
-		z = splitmix64(z ^ h.Sum64())
+		z = splitmix64(z ^ fnv64a(l))
 	}
 	return int64(z)
 }
@@ -187,10 +210,18 @@ func NewMarkovOnOff(src *Source, meanOn, meanOff float64) *MarkovOnOff {
 		panic("rngx: MarkovOnOff holding times must be positive")
 	}
 	m := &MarkovOnOff{src: src, MeanOn: meanOn, MeanOff: meanOff}
-	pOn := meanOn / (meanOn + meanOff)
-	m.on = src.Bernoulli(pOn)
-	m.holdLeft = m.draw()
+	m.Reinit()
 	return m
+}
+
+// Reinit redraws the process's state and holding time from its source,
+// exactly as construction does — consuming one Bernoulli and one Exp draw —
+// so a reused process (source reseeded in place) restarts bit-identically
+// to a freshly built one.
+func (m *MarkovOnOff) Reinit() {
+	pOn := m.MeanOn / (m.MeanOn + m.MeanOff)
+	m.on = m.src.Bernoulli(pOn)
+	m.holdLeft = m.draw()
 }
 
 func (m *MarkovOnOff) draw() float64 {

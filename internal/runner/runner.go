@@ -75,6 +75,13 @@ type Options struct {
 	// are serialised; they may arrive in any replica order but done is
 	// strictly increasing.
 	Progress func(done, total int, key ReplicaKey)
+	// WorkerInit, if set, is called once per worker goroutine before its
+	// first replica; the returned value is passed to every replica the
+	// worker runs (RunWorkers' fn receives it), and the returned cleanup —
+	// if non-nil — runs when the worker exits, including on context
+	// cancellation or replica error. Scenario execution uses it to give each
+	// worker a private pool of reusable simulation worlds.
+	WorkerInit func() (value any, cleanup func())
 }
 
 // workers resolves the effective worker count for n replicas.
@@ -98,6 +105,14 @@ func (o Options) workers(n int) int {
 // *Error) alongside the partial results; replicas after a context
 // cancellation are skipped.
 func Run[T any](opt Options, keys []ReplicaKey, fn func(ReplicaKey) (T, error)) ([]T, error) {
+	return RunWorkers(opt, keys, func(k ReplicaKey, _ any) (T, error) { return fn(k) })
+}
+
+// RunWorkers is Run with worker-local state: fn additionally receives the
+// value Options.WorkerInit produced for the executing worker (nil when no
+// WorkerInit is set). Everything else — key-order results, earliest-error
+// reporting, cancellation — behaves exactly as Run.
+func RunWorkers[T any](opt Options, keys []ReplicaKey, fn func(ReplicaKey, any) (T, error)) ([]T, error) {
 	n := len(keys)
 	out := make([]T, n)
 	if n == 0 {
@@ -128,6 +143,16 @@ func Run[T any](opt Options, keys []ReplicaKey, fn func(ReplicaKey) (T, error)) 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var local any
+			if opt.WorkerInit != nil {
+				value, cleanup := opt.WorkerInit()
+				local = value
+				if cleanup != nil {
+					// Deferred so rented worker state is released on every
+					// exit path, including cancellation sweeps.
+					defer cleanup()
+				}
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -137,7 +162,7 @@ func Run[T any](opt Options, keys []ReplicaKey, fn func(ReplicaKey) (T, error)) 
 					errs[i] = err
 					continue // mark every remaining replica as cancelled
 				}
-				out[i], errs[i] = fn(keys[i])
+				out[i], errs[i] = fn(keys[i], local)
 				report(i)
 			}
 		}()

@@ -182,3 +182,96 @@ func TestReplicaKeySeedsDistinct(t *testing.T) {
 		seen[s] = k
 	}
 }
+
+// TestWorkerInitPerWorker pins the worker-local state contract: WorkerInit
+// runs exactly once per worker goroutine, every replica sees its own
+// worker's value, and every cleanup runs after the campaign.
+func TestWorkerInitPerWorker(t *testing.T) {
+	keys := testKeys(4, 32)
+	var inits, cleanups atomic.Int64
+	got, err := RunWorkers(Options{
+		Parallel: 4,
+		WorkerInit: func() (any, func()) {
+			id := inits.Add(1)
+			return id, func() { cleanups.Add(1) }
+		},
+	}, keys, func(k ReplicaKey, local any) (int64, error) {
+		id, ok := local.(int64)
+		if !ok || id < 1 {
+			t.Errorf("replica %v got local %v, want its worker's init value", k, local)
+		}
+		return id, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := inits.Load(); n != 4 {
+		t.Fatalf("WorkerInit ran %d times for 4 workers", n)
+	}
+	if n := cleanups.Load(); n != 4 {
+		t.Fatalf("%d cleanups ran, want 4", n)
+	}
+	// Which worker runs which replica is a scheduling race; only validity of
+	// the local value is guaranteed, not its spread.
+	for i, id := range got {
+		if id < 1 || id > 4 {
+			t.Fatalf("replica %d saw worker value %d, want 1..4", i, id)
+		}
+	}
+}
+
+// TestWorkerInitCleanupOnCancellation is the pool-lifecycle guarantee:
+// worker cleanups (which return rented worlds) run even when the campaign is
+// cancelled mid-flight.
+func TestWorkerInitCleanupOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	keys := testKeys(1, 500)
+	var inits, cleanups, ran atomic.Int64
+	_, err := RunWorkers(Options{
+		Parallel: 4,
+		Context:  ctx,
+		WorkerInit: func() (any, func()) {
+			inits.Add(1)
+			return nil, func() { cleanups.Add(1) }
+		},
+	}, keys, func(k ReplicaKey, _ any) (int, error) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inits.Load() != cleanups.Load() {
+		t.Fatalf("%d inits but %d cleanups after cancellation", inits.Load(), cleanups.Load())
+	}
+	if cleanups.Load() == 0 {
+		t.Fatal("no cleanups ran")
+	}
+}
+
+// TestWorkerInitCleanupOnReplicaError mirrors the cancellation test for the
+// replica-failure path: a failing replica must not leak worker state.
+func TestWorkerInitCleanupOnReplicaError(t *testing.T) {
+	keys := testKeys(2, 8)
+	var cleanups atomic.Int64
+	boom := errors.New("boom")
+	_, err := RunWorkers(Options{
+		Parallel: 2,
+		WorkerInit: func() (any, func()) {
+			return nil, func() { cleanups.Add(1) }
+		},
+	}, keys, func(k ReplicaKey, _ any) (int, error) {
+		if k.Sample == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := cleanups.Load(); n != 2 {
+		t.Fatalf("%d cleanups ran after replica error, want 2", n)
+	}
+}

@@ -67,6 +67,10 @@ type CampaignConfig struct {
 	InterferenceChunkBytes  float64
 	// SlowOSTs degrade targets deterministically before the run.
 	SlowOSTs []SlowOST
+	// Pool, if non-nil, supplies the replica's world (reset, not rebuilt).
+	// A nil Pool builds and tears down a fresh world — the two paths are
+	// bit-identical by the world-reuse determinism contract.
+	Pool *cluster.Pool
 }
 
 // ExecCampaign executes one collective output step of an application under
@@ -85,7 +89,7 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 	if cfg.PerRank == nil {
 		return Sample{}, fmt.Errorf("scenario: campaign needs a per-rank generator")
 	}
-	c, err := cluster.Preset(cfg.Machine, cluster.Config{
+	c, err := cfg.Pool.Rent(cfg.Machine, cluster.Config{
 		Seed:            cfg.Seed,
 		NumOSTs:         cfg.NumOSTs,
 		ProductionNoise: !cfg.NoNoise,
@@ -93,7 +97,7 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 	if err != nil {
 		return Sample{}, err
 	}
-	defer c.Shutdown()
+	defer cfg.Pool.Return(c)
 	defer tc.finish()
 
 	if err := applySlow(c, cfg.SlowOSTs); err != nil {
@@ -134,16 +138,20 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 		return Sample{}, fmt.Errorf("scenario: campaign did not complete")
 	}
 	return Sample{
-		Elapsed:        res.Elapsed,
-		AggregateBW:    res.AggregateBW(),
-		WriterTimes:    append([]float64(nil), res.WriterTimes...),
+		Elapsed:     res.Elapsed,
+		AggregateBW: res.AggregateBW(),
+		// Ownership transfers: the step result's per-writer slice is built
+		// fresh for every step and nothing world-owned aliases it, so the
+		// sample keeps it without the old defensive re-copy.
+		WriterTimes:    res.WriterTimes,
 		TotalBytes:     res.TotalBytes,
 		AdaptiveWrites: res.AdaptiveWrites,
 	}, nil
 }
 
-// execReplica runs one grid-point replica of the scenario.
-func (s *Scenario) execReplica(cfg replicaCfg, seed int64, tc *traceCapture) (Sample, error) {
+// execReplica runs one grid-point replica of the scenario on a world rented
+// from the worker's pool (nil pool = fresh world per replica).
+func (s *Scenario) execReplica(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *traceCapture) (Sample, error) {
 	switch cfg.kind {
 	case KindApp:
 		perRank := s.Workload.PerRank
@@ -167,13 +175,14 @@ func (s *Scenario) execReplica(cfg replicaCfg, seed int64, tc *traceCapture) (Sa
 			InterferenceProcsPerOST: s.Interference.ProcsPerOST,
 			InterferenceChunkBytes:  s.Interference.ChunkMB * pfs.MB,
 			SlowOSTs:                s.Interference.SlowOSTs,
+			Pool:                    pool,
 		}, tc)
 	case KindIOR:
-		return s.execIOR(cfg, seed, tc)
+		return s.execIOR(cfg, seed, pool, tc)
 	case KindPairedIOR:
-		return s.execPairedIOR(cfg, seed, tc)
+		return s.execPairedIOR(cfg, seed, pool, tc)
 	case KindOpenStorm:
-		return s.execOpenStorm(cfg, seed, tc)
+		return s.execOpenStorm(cfg, seed, pool, tc)
 	}
 	return Sample{}, fmt.Errorf("scenario: unknown workload kind %q", cfg.kind)
 }
@@ -195,10 +204,10 @@ func (t Transport) adiosOptions() adios.Options {
 	}
 }
 
-// execIOR runs one IOR benchmark sample in a fresh environment — the shape
+// execIOR runs one IOR benchmark sample in a clean environment — the shape
 // of the Figure 1 grid cells and Table I's hourly tests.
-func (s *Scenario) execIOR(cfg replicaCfg, seed int64, tc *traceCapture) (Sample, error) {
-	c, err := cluster.Preset(cfg.machine, cluster.Config{
+func (s *Scenario) execIOR(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *traceCapture) (Sample, error) {
+	c, err := pool.Rent(cfg.machine, cluster.Config{
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
@@ -206,7 +215,7 @@ func (s *Scenario) execIOR(cfg replicaCfg, seed int64, tc *traceCapture) (Sample
 	if err != nil {
 		return Sample{}, err
 	}
-	defer c.Shutdown()
+	defer pool.Return(c)
 	defer tc.finish()
 	if err := s.applyInterference(c, cfg); err != nil {
 		return Sample{}, err
@@ -227,8 +236,8 @@ func (s *Scenario) execIOR(cfg replicaCfg, seed int64, tc *traceCapture) (Sample
 
 // execPairedIOR runs the XTP shape: one IOR alone, or two simultaneous IOR
 // programs overlapping at a seed-varied phase, measuring the first.
-func (s *Scenario) execPairedIOR(cfg replicaCfg, seed int64, tc *traceCapture) (Sample, error) {
-	c, err := cluster.Preset(cfg.machine, cluster.Config{
+func (s *Scenario) execPairedIOR(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *traceCapture) (Sample, error) {
+	c, err := pool.Rent(cfg.machine, cluster.Config{
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
@@ -236,7 +245,7 @@ func (s *Scenario) execPairedIOR(cfg replicaCfg, seed int64, tc *traceCapture) (
 	if err != nil {
 		return Sample{}, err
 	}
-	defer c.Shutdown()
+	defer pool.Return(c)
 	defer tc.finish()
 	if err := s.applyInterference(c, cfg); err != nil {
 		return Sample{}, err
@@ -310,8 +319,8 @@ func (s *Scenario) execPairedIOR(cfg replicaCfg, seed int64, tc *traceCapture) (
 
 // execOpenStorm has `writers` ranks create one file each (stagger-spaced)
 // and measures the storm completion time and MDS queue peak.
-func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, tc *traceCapture) (Sample, error) {
-	c, err := cluster.Preset(cfg.machine, cluster.Config{
+func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *traceCapture) (Sample, error) {
+	c, err := pool.Rent(cfg.machine, cluster.Config{
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
@@ -319,7 +328,7 @@ func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, tc *traceCapture) (
 	if err != nil {
 		return Sample{}, err
 	}
-	defer c.Shutdown()
+	defer pool.Return(c)
 	defer tc.finish()
 	if err := s.applyInterference(c, cfg); err != nil {
 		return Sample{}, err

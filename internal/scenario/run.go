@@ -22,6 +22,12 @@ type RunOptions struct {
 	Progress func(done, total int, key runner.ReplicaKey)
 	// Trace, if set, records a per-OST timeline of one replica.
 	Trace *TraceOptions
+	// NoReuse disables world reuse: every replica builds and tears down a
+	// fresh simulation world instead of renting a reset one from its
+	// worker's pool. Results are bit-identical either way; the switch (and
+	// the REPRO_NO_REUSE environment variable, honoured by cluster.NewPool)
+	// exists for bisection.
+	NoReuse bool
 }
 
 // TraceOptions selects which replica to trace and how often to sample.
@@ -155,16 +161,30 @@ func Run(s Scenario, opt RunOptions) (*Result, error) {
 		}
 	}
 
-	results, err := runner.Run(runner.Options{
-		Parallel: opt.Parallel,
-		Context:  opt.Context,
-		Progress: opt.Progress,
-	}, keys, func(k runner.ReplicaKey) (Sample, error) {
+	// Each worker owns a private pool of reusable worlds; the per-worker
+	// cleanup shuts pooled worlds down on every exit path (including
+	// cancellation). NewPool returns nil under REPRO_NO_REUSE, and a nil
+	// pool rents fresh worlds, so all modes share one execution path.
+	var workerInit func() (any, func())
+	if !opt.NoReuse {
+		workerInit = func() (any, func()) {
+			p := cluster.NewPool()
+			return p, func() { p.Close() }
+		}
+	}
+
+	results, err := runner.RunWorkers(runner.Options{
+		Parallel:   opt.Parallel,
+		Context:    opt.Context,
+		Progress:   opt.Progress,
+		WorkerInit: workerInit,
+	}, keys, func(k runner.ReplicaKey, local any) (Sample, error) {
 		var capture *traceCapture
 		if tc != nil && tc.key == k {
 			capture = tc
 		}
-		return s.execReplica(cfgs[pointIdx[k.Point]], k.Seed(opt.Seed), capture)
+		pool, _ := local.(*cluster.Pool)
+		return s.execReplica(cfgs[pointIdx[k.Point]], k.Seed(opt.Seed), pool, capture)
 	})
 	if err != nil {
 		return nil, err

@@ -249,6 +249,73 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestWorldReuseDeterminism pins the tentpole contract end to end: a
+// mixed-kind campaign — every exec path (app, ior, paired-ior, openstorm)
+// sharing each worker's rented worlds — is bit-identical to the
+// build-fresh-every-replica path, at one worker and at eight. Under -race
+// this doubles as the reuse layer's concurrency stress test.
+func TestWorldReuseDeterminism(t *testing.T) {
+	// Mixed kinds run noise-free: paired-ior's natural-drain join cannot
+	// terminate under production noise (a pre-existing constraint of that
+	// exec path, reuse or not). Noise coverage comes from the second spec.
+	mixed := Scenario{
+		Name:    "reuse-det",
+		NumOSTs: 4,
+		NoNoise: true,
+		Samples: 3,
+		Workload: Workload{
+			Kind:      KindIOR, // overridden per point by the kind axis
+			SizeMB:    4,
+			Writers:   4,
+			Procs:     8,
+			Generator: "pixie3d-small",
+		},
+		Axes: []Axis{
+			{Name: "kind", Values: []Value{
+				StrValue(KindApp), StrValue(KindIOR),
+				StrValue(KindPairedIOR), StrValue(KindOpenStorm),
+			}},
+		},
+	}
+	noisy := Scenario{
+		Name:    "reuse-det-noise",
+		NumOSTs: 4,
+		Samples: 2,
+		Workload: Workload{
+			Kind:      KindIOR,
+			SizeMB:    4,
+			Writers:   4,
+			Procs:     8,
+			Generator: "pixie3d-small",
+		},
+		Axes: []Axis{
+			{Name: "kind", Values: []Value{StrValue(KindApp), StrValue(KindIOR)}},
+		},
+	}
+	for _, spec := range []Scenario{mixed, noisy} {
+		base, err := Run(spec, RunOptions{Seed: 31, Parallel: 1, NoReuse: true})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", spec.Name, err)
+		}
+		for _, tc := range []struct {
+			name string
+			opt  RunOptions
+		}{
+			{"reuse-1worker", RunOptions{Seed: 31, Parallel: 1}},
+			{"reuse-8workers", RunOptions{Seed: 31, Parallel: 8}},
+			{"fresh-8workers", RunOptions{Seed: 31, Parallel: 8, NoReuse: true}},
+		} {
+			got, err := Run(spec, tc.opt)
+			if err != nil {
+				t.Fatalf("%s %s: %v", spec.Name, tc.name, err)
+			}
+			if !reflect.DeepEqual(base.Points, got.Points) {
+				t.Errorf("%s: %s diverged from the fresh sequential baseline", spec.Name, tc.name)
+			}
+		}
+	}
+}
+
 // TestTraceSlowOSTDraining traces an adaptive-method campaign on a system
 // with one deliberately degraded target and checks the timeline captures
 // the defect: the slow target reports its service factor, data drains to

@@ -126,6 +126,7 @@ type Kernel struct {
 	yield chan struct{}
 
 	procs      []*Proc
+	idle       []*Proc // recycled processes: goroutine parked, awaiting a new body
 	nextProcID int
 
 	running  bool
@@ -380,64 +381,106 @@ const (
 	procDone
 )
 
-// shutdownSignal is delivered through a process's wake channel to unwind it.
+// wakeKind is delivered through a process's wake channel: wakeRun resumes
+// (or first starts) the body, wakeHalt unwinds the body but keeps the
+// goroutine parked for recycling, wakeShutdown unwinds and exits it.
 type wakeKind int
 
 const (
 	wakeRun wakeKind = iota
+	wakeHalt
 	wakeShutdown
 )
 
-// haltSentinel is panicked inside a process goroutine to unwind it during
-// Shutdown; the spawn wrapper recovers it.
+// haltSentinel is panicked inside a process goroutine to unwind its body
+// during Reset or Shutdown; the process loop recovers it.
 type haltSentinel struct{}
 
 // Proc is a simulation process: a goroutine that runs under the kernel's
-// handoff discipline. All Proc methods must be called from the process's own
-// goroutine unless documented otherwise.
+// handoff discipline. The goroutine is persistent — when a body finishes
+// (or is halted by Reset), the goroutine parks and can be re-armed with a
+// new body, so steady-state replica execution spawns no goroutines and
+// allocates no channels. All Proc methods must be called from the process's
+// own goroutine unless documented otherwise.
 type Proc struct {
-	k     *Kernel
-	id    int
-	name  string
-	wake  chan wakeKind
-	state procState
-	waker func() // lazily built, reused by every Waker call
+	k      *Kernel
+	id     int
+	name   string
+	wake   chan wakeKind
+	state  procState
+	waker  func()        // lazily built, reused by every Waker call
+	body   func(p *Proc) // current body; re-armed on recycle
+	exited bool          // goroutine has returned; the Proc is dead
 }
 
-// newProc registers a fresh process and starts its goroutine.
+// loop is the persistent goroutine behind a Proc: it waits to be armed,
+// runs the current body to completion (or unwinding), then parks again for
+// the next body. Exactly one yield is sent per wake received.
+func (p *Proc) loop() {
+	for {
+		switch <-p.wake {
+		case wakeShutdown:
+			p.state = procDone
+			p.exited = true
+			p.k.yield <- struct{}{}
+			return
+		case wakeHalt:
+			// Body never started (procReady); nothing to unwind.
+			p.state = procDone
+			p.k.yield <- struct{}{}
+			continue
+		}
+		p.runBody()
+		if p.exited {
+			return
+		}
+	}
+}
+
+// runBody executes the current body, recovering the halt sentinel that
+// Reset/Shutdown use to unwind parked bodies.
+func (p *Proc) runBody() {
+	defer func() {
+		p.state = procDone
+		p.body = nil
+		if r := recover(); r != nil {
+			if _, ok := r.(haltSentinel); !ok {
+				// Re-panicking here would crash on the goroutine with a
+				// useless stack; surface the original panic value instead.
+				panic(fmt.Sprintf("simkernel: process %q panicked: %v", p.name, r))
+			}
+		}
+		p.k.yield <- struct{}{}
+	}()
+	p.state = procRunning
+	p.body(p)
+}
+
+// newProc registers a process, recycling a parked goroutine from the idle
+// list when one is available and starting a fresh goroutine otherwise.
 func (k *Kernel) newProc(name string, fn func(p *Proc)) *Proc {
 	k.nextProcID++
+	if n := len(k.idle); n > 0 {
+		p := k.idle[n-1]
+		k.idle[n-1] = nil
+		k.idle = k.idle[:n-1]
+		p.id = k.nextProcID
+		p.name = name
+		p.body = fn
+		p.state = procReady
+		k.procs = append(k.procs, p)
+		return p
+	}
 	p := &Proc{
 		k:     k,
 		id:    k.nextProcID,
 		name:  name,
 		wake:  make(chan wakeKind),
 		state: procReady,
+		body:  fn,
 	}
 	k.procs = append(k.procs, p)
-	go func() {
-		kind := <-p.wake
-		if kind == wakeShutdown {
-			p.state = procDone
-			k.yield <- struct{}{}
-			return
-		}
-		defer func() {
-			p.state = procDone
-			if r := recover(); r != nil {
-				if _, ok := r.(haltSentinel); ok {
-					k.yield <- struct{}{}
-					return
-				}
-				// Re-panicking here would crash on the goroutine with a
-				// useless stack; surface the original panic value instead.
-				panic(fmt.Sprintf("simkernel: process %q panicked: %v", p.name, r))
-			}
-			k.yield <- struct{}{}
-		}()
-		p.state = procRunning
-		fn(p)
-	}()
+	go p.loop()
 	return p
 }
 
@@ -472,13 +515,16 @@ func (p *Proc) resume(kind wakeKind) {
 }
 
 // park suspends the process, returning control to the kernel. The process
-// resumes when some event calls resume. If the wakeup is a shutdown, the
-// goroutine unwinds.
+// resumes when some event calls resume. A halt or shutdown wakeup unwinds
+// the body instead (running its deferred cleanup on the way out).
 func (p *Proc) park() {
 	p.state = procParked
 	p.k.yield <- struct{}{}
 	kind := <-p.wake
-	if kind == wakeShutdown {
+	if kind != wakeRun {
+		if kind == wakeShutdown {
+			p.exited = true
+		}
 		panic(haltSentinel{})
 	}
 	p.state = procRunning
@@ -544,24 +590,97 @@ func (p *Proc) Waker() func() {
 	return p.waker
 }
 
-// Shutdown unwinds all processes that have not yet terminated. Call it after
-// Run to avoid leaking goroutines (parked processes otherwise remain blocked
-// for the lifetime of the program). The kernel must not be running.
+// Shutdown terminates every process goroutine — unwinding bodies still in
+// flight and exiting parked idle goroutines. Call it when done with the
+// kernel for good; to reuse the kernel for another simulation, call Reset
+// instead (which recycles the goroutines). The kernel must not be running.
 func (k *Kernel) Shutdown() {
 	if k.running {
 		panic("simkernel: Shutdown during Run")
 	}
 	for _, p := range k.procs {
-		switch p.state {
-		case procDone:
-			continue
-		case procReady, procParked:
-			p.wake <- wakeShutdown
-			<-k.yield
-		case procRunning:
-			// Impossible outside Run: a running process implies the kernel
-			// loop is blocked in resume.
-			panic("simkernel: process still running in Shutdown")
-		}
+		k.exitProc(p)
 	}
+	for i, p := range k.idle {
+		k.exitProc(p)
+		k.idle[i] = nil
+	}
+	k.idle = k.idle[:0]
+}
+
+// exitProc terminates one process goroutine (no-op if already exited).
+func (k *Kernel) exitProc(p *Proc) {
+	if p.exited {
+		return
+	}
+	if p.state == procRunning {
+		// Impossible outside Run: a running process implies the kernel
+		// loop is blocked in resume.
+		panic("simkernel: process still running in Shutdown")
+	}
+	p.wake <- wakeShutdown
+	<-k.yield
+}
+
+// Reset returns the kernel to its initial state — clock at zero, empty
+// event queue, no registered processes — while recycling the process
+// goroutines onto an idle list from which subsequent Spawns are re-armed.
+// Bodies still in flight are unwound first (running their deferred cleanup),
+// so the pass is: halt bodies, then discard every pending event, then zero
+// the clock and counters. A Reset kernel is indistinguishable from a fresh
+// New() to simulation code: event ordering is (time, sequence) and both
+// restart at zero, process IDs restart at one, and Timer handles from the
+// old run are invalidated by a generation bump on their pool slots.
+// The kernel must not be running.
+func (k *Kernel) Reset() {
+	if k.running {
+		panic("simkernel: Reset during Run")
+	}
+	// Halt in-flight bodies before touching the queue: unwinding runs
+	// deferred cleanup (WaitGroup.Done, mailbox sends) that may schedule
+	// events, which the drain below then discards. Index-based loop: an
+	// unwinding defer could in principle spawn, appending to procs.
+	for i := 0; i < len(k.procs); i++ {
+		p := k.procs[i]
+		if p.state == procDone || p.exited {
+			continue
+		}
+		if p.state == procRunning {
+			panic("simkernel: process still running in Reset")
+		}
+		p.wake <- wakeHalt
+		<-k.yield
+	}
+	// Recycle every live goroutine onto the idle list.
+	for i, p := range k.procs {
+		if !p.exited {
+			k.idle = append(k.idle, p)
+		}
+		k.procs[i] = nil
+	}
+	k.procs = k.procs[:0]
+
+	// Discard pending events and rebuild the free list over the whole pool,
+	// bumping generations of occupied slots so outstanding Timer handles go
+	// stale. Slot identity never affects simulation order (events order by
+	// (time, sequence) only), so the rebuilt free-list order is harmless.
+	k.queue = k.queue[:0]
+	k.free = k.free[:0]
+	for i := range k.pool {
+		rec := &k.pool[i]
+		rec.fire = nil
+		rec.proc = nil
+		if rec.pending || rec.cancelled {
+			rec.pending = false
+			rec.cancelled = false
+			rec.gen++
+		}
+		k.free = append(k.free, int32(i))
+	}
+	k.nCancelled = 0
+
+	k.now = 0
+	k.seq = 0
+	k.nextProcID = 0
+	k.finished = false
 }

@@ -1,7 +1,6 @@
 package simkernel
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -372,35 +371,12 @@ func TestShutdownUnwindsNeverStartedProcess(t *testing.T) {
 	}
 }
 
-// runRandomWorkload executes a randomized pile of interacting processes and
-// returns a trace; used to property-test determinism.
+// runRandomWorkload executes a randomized pile of interacting processes on a
+// fresh kernel and returns a trace; used to property-test determinism (see
+// runRandomWorkloadOn in reset_test.go for the reusable-kernel form).
 func runRandomWorkload(seed int64) []int64 {
-	rng := rand.New(rand.NewSource(seed))
 	k := New()
-	mb := NewMailbox(k)
-	res := NewResource(k, 1+rng.Intn(3))
-	var trace []int64
-	n := 3 + rng.Intn(6)
-	for i := 0; i < n; i++ {
-		i := i
-		delay := time.Duration(rng.Intn(100))
-		hold := time.Duration(1 + rng.Intn(50))
-		k.SpawnAt(Time(rng.Intn(50)), "p", func(p *Proc) {
-			p.Sleep(delay)
-			res.Acquire(p)
-			trace = append(trace, int64(p.Now()), int64(i))
-			p.Sleep(hold)
-			res.Release()
-			mb.Send(i)
-		})
-	}
-	k.Spawn("collector", func(p *Proc) {
-		for j := 0; j < n; j++ {
-			v := mb.Recv(p).(int)
-			trace = append(trace, int64(p.Now()), int64(100+v))
-		}
-	})
-	k.Run()
+	trace := runRandomWorkloadOn(k, seed)
 	k.Shutdown()
 	return trace
 }

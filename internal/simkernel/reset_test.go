@@ -1,0 +1,214 @@
+package simkernel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestResetReplaysWorkloadBitIdentically is the core world-reuse contract at
+// the kernel layer: running the randomized property workload on a Reset
+// kernel yields the same trace as on a fresh one.
+func TestResetReplaysWorkloadBitIdentically(t *testing.T) {
+	f := func(seed int64) bool {
+		fresh := runRandomWorkload(seed)
+		k := New()
+		runRandomWorkloadOn(k, seed^0x5bd1e995) // dirty the kernel with a different run
+		k.Reset()
+		reused := runRandomWorkloadOn(k, seed)
+		k.Shutdown()
+		return reflect.DeepEqual(fresh, reused)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetRecyclesGoroutines pins the freelist mechanics: after Reset, new
+// Spawns re-arm the parked goroutines instead of starting fresh ones, and
+// the recycled processes run their new bodies normally.
+func TestResetRecyclesGoroutines(t *testing.T) {
+	k := New()
+	var procs []*Proc
+	for i := 0; i < 5; i++ {
+		procs = append(procs, k.Spawn("first", func(p *Proc) { p.Sleep(10) }))
+	}
+	k.Run()
+	k.Reset()
+	if got := len(k.idle); got != 5 {
+		t.Fatalf("idle list has %d procs after Reset, want 5", got)
+	}
+	ran := 0
+	var second []*Proc
+	for i := 0; i < 5; i++ {
+		second = append(second, k.Spawn("second", func(p *Proc) { ran++ }))
+	}
+	if len(k.idle) != 0 {
+		t.Fatalf("idle list has %d procs after respawn, want 0", len(k.idle))
+	}
+	for i, p := range second {
+		if p != procs[4-i] { // LIFO freelist
+			t.Fatalf("spawn %d did not recycle a parked proc", i)
+		}
+		if p.ID() != i+1 {
+			t.Fatalf("recycled proc id = %d, want %d (IDs restart after Reset)", p.ID(), i+1)
+		}
+	}
+	k.Run()
+	if ran != 5 {
+		t.Fatalf("recycled procs ran %d bodies, want 5", ran)
+	}
+	k.Shutdown()
+}
+
+// TestResetUnwindsParkedBodies verifies Reset runs deferred cleanup of
+// bodies that were still parked, exactly as Shutdown does, and that the
+// unwound goroutines survive to run another body.
+func TestResetUnwindsParkedBodies(t *testing.T) {
+	k := New()
+	mb := NewMailbox(k)
+	cleaned, finished := false, false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() { cleaned = true }()
+		mb.Recv(p) // never receives anything
+		finished = true
+	})
+	k.Run()
+	k.Reset()
+	if !cleaned {
+		t.Fatal("Reset did not run the parked body's deferred cleanup")
+	}
+	if finished {
+		t.Fatal("parked body should have unwound, not completed")
+	}
+	reran := false
+	k.Spawn("again", func(p *Proc) { reran = true })
+	k.Run()
+	if !reran {
+		t.Fatal("recycled goroutine did not run its new body")
+	}
+	k.Shutdown()
+}
+
+// TestResetClearsClockQueueAndTimers verifies a Reset kernel starts from
+// t=0 with an empty queue and that Timer handles from the previous run are
+// inert against events scheduled after the Reset.
+func TestResetClearsClockQueueAndTimers(t *testing.T) {
+	k := New()
+	stale := k.At(50, func() { t.Fatal("pre-Reset event fired") })
+	k.At(10, func() {})
+	k.RunUntil(20)
+	if k.Now() != 10 {
+		t.Fatalf("now = %v, want 10", k.Now())
+	}
+	k.Reset()
+	if k.Now() != 0 || k.Pending() != 0 {
+		t.Fatalf("after Reset now=%v pending=%d, want 0/0", k.Now(), k.Pending())
+	}
+	fired := false
+	k.At(5, func() { fired = true })
+	if stale.Active() {
+		t.Fatal("stale Timer reports Active after Reset")
+	}
+	stale.Cancel() // must not cancel the new event even if it reuses the slot
+	k.Run()
+	if !fired {
+		t.Fatal("post-Reset event was cancelled by a stale Timer handle")
+	}
+	k.Shutdown()
+}
+
+// TestShutdownAfterRunTerminatesFinishedProcs pins the recycling protocol's
+// obligation on Shutdown: processes whose bodies completed normally still
+// have live goroutines parked for re-arming, and Shutdown (without a Reset
+// in between) must exit them too.
+func TestShutdownAfterRunTerminatesFinishedProcs(t *testing.T) {
+	k := New()
+	p := k.Spawn("done", func(p *Proc) {})
+	k.Run()
+	if !p.Done() {
+		t.Fatal("body should have completed")
+	}
+	k.Shutdown()
+	if !p.exited {
+		t.Fatal("Shutdown left a finished proc's goroutine parked")
+	}
+	// Shutdown is idempotent on exited procs.
+	k.Shutdown()
+}
+
+// TestResetZeroAlloc gates the rebuild-free claim at the kernel layer: a
+// spawn/run/Reset cycle on a warmed kernel allocates nothing.
+func TestResetZeroAlloc(t *testing.T) {
+	k := New()
+	body := func(p *Proc) { p.Sleep(5 * time.Nanosecond) }
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			k.Spawn("w", body)
+		}
+		k.Run()
+		k.Reset()
+	}
+	cycle() // warm pool, queue, procs, idle list
+	got := testing.AllocsPerRun(100, cycle)
+	if got != 0 {
+		t.Fatalf("spawn/run/Reset cycle allocates %v allocs/op in steady state; want 0", got)
+	}
+	k.Shutdown()
+}
+
+// runRandomWorkloadOn is runRandomWorkload against a caller-owned kernel
+// (fresh or Reset), without the trailing Shutdown.
+func runRandomWorkloadOn(k *Kernel, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	mb := NewMailbox(k)
+	res := NewResource(k, 1+rng.Intn(3))
+	var trace []int64
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		i := i
+		delay := time.Duration(rng.Intn(100))
+		hold := time.Duration(1 + rng.Intn(50))
+		k.SpawnAt(Time(rng.Intn(50)), "p", func(p *Proc) {
+			p.Sleep(delay)
+			res.Acquire(p)
+			trace = append(trace, int64(p.Now()), int64(i))
+			p.Sleep(hold)
+			res.Release()
+			mb.Send(i)
+		})
+	}
+	k.Spawn("collector", func(p *Proc) {
+		for j := 0; j < n; j++ {
+			v := mb.Recv(p).(int)
+			trace = append(trace, int64(p.Now()), int64(100+v))
+		}
+	})
+	k.Run()
+	return trace
+}
+
+// BenchmarkWorldReset measures the per-replica kernel recycling cost — the
+// Reset sweep plus re-arming a typical process population — against
+// BenchmarkReplicaSetupTeardown's fresh-build baseline in package cluster.
+func BenchmarkWorldReset(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	body := func(p *Proc) { p.Sleep(5 * time.Nanosecond) }
+	run := func() {
+		for i := 0; i < 64; i++ {
+			k.Spawn("w", body)
+		}
+		k.Run()
+		k.Reset()
+	}
+	run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	k.Shutdown()
+}

@@ -121,6 +121,23 @@ func (r *Resource) Release() {
 	r.inUse--
 }
 
+// Reset returns the resource to its freshly constructed state with the given
+// capacity, dropping any queued waiters (their processes must already have
+// been unwound by Kernel.Reset). It lets a reused world re-arm its service
+// points without reallocating them.
+func (r *Resource) Reset(capacity int) {
+	if capacity < 1 {
+		panic("simkernel: resource capacity must be >= 1")
+	}
+	r.capacity = capacity
+	r.inUse = 0
+	for i := range r.waiters {
+		r.waiters[i] = nil
+	}
+	r.waiters = r.waiters[:0]
+	r.MaxQueue = 0
+}
+
 // InUse reports the number of currently held slots.
 func (r *Resource) InUse() int { return r.inUse }
 
