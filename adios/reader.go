@@ -2,6 +2,7 @@ package adios
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/cluster"
 	"repro/internal/bp"
@@ -111,8 +112,19 @@ func (rd *Reader) ReadByValue(r *cluster.Rank, name string, lo, hi float64) ([]b
 // Close closes all file handles (metadata cost charged to the calling
 // rank).
 func (rd *Reader) Close(r *cluster.Rank) {
-	for _, f := range rd.handles {
-		f.Close(r.Proc())
-	}
+	// Each close charges an MDS operation, so the order of the closes is
+	// simulation-visible: iterate the handles in sorted name order. Take
+	// ownership of the map first — File.Close yields to the kernel, and
+	// another rank may Close this reader in the meantime (File.Close itself
+	// is idempotent, so overlapping closers remain safe).
+	handles := rd.handles
 	rd.handles = map[string]*pfs.File{}
+	names := make([]string, 0, len(handles))
+	for name := range handles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		handles[name].Close(r.Proc())
+	}
 }

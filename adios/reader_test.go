@@ -130,3 +130,43 @@ func TestReaderReusesHandles(t *testing.T) {
 	})
 	c.RunUntilDone(j)
 }
+
+func TestReaderCloseClosesEveryHandle(t *testing.T) {
+	c, res := writeThenIndex(t, MethodAdaptive)
+	defer c.Shutdown()
+	rd, err := NewReader(c, res.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := c.NewWorld(1)
+	j := w2.Launch(func(r *cluster.Rank) {
+		// Touch every writer's block so the reader holds several distinct
+		// subfile handles.
+		for rank := int32(0); rank < 8; rank++ {
+			if _, err := rd.ReadVar(r, "rho", rank); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		open := len(rd.handles)
+		if open < 2 {
+			t.Errorf("want multiple open handles, got %d", open)
+			return
+		}
+		before := c.FileSystem().MDS.Stats.OpsServed
+		rd.Close(r)
+		if got := c.FileSystem().MDS.Stats.OpsServed - before; got != open {
+			t.Errorf("Close charged %d MDS ops, want one per handle (%d)", got, open)
+		}
+		if len(rd.handles) != 0 {
+			t.Errorf("%d handles survived Close", len(rd.handles))
+		}
+		// Closing an already-closed reader charges nothing.
+		before = c.FileSystem().MDS.Stats.OpsServed
+		rd.Close(r)
+		if got := c.FileSystem().MDS.Stats.OpsServed; got != before {
+			t.Errorf("second Close charged %d extra MDS ops", got-before)
+		}
+	})
+	c.RunUntilDone(j)
+}

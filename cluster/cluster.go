@@ -50,10 +50,10 @@ type Config struct {
 
 // Cluster is a simulated machine instance.
 type Cluster struct {
-	name    string
+	name    string //repro:reset-skip identity, fixed at construction
 	kernel  *simkernel.Kernel
 	fs      *pfs.FileSystem
-	machine machines.Machine
+	machine machines.Machine //repro:reset-skip immutable machine description; Reset re-derives configs from it
 	noise   *interference.Noise
 	msgLat  time.Duration
 
@@ -66,7 +66,7 @@ type Cluster struct {
 
 	// key identifies the pool bucket this world was rented from (set by
 	// Pool.Rent; empty for worlds built outside a pool).
-	key poolKey
+	key poolKey //repro:reset-skip pool-bucket identity, owned by Pool.Rent/Return
 }
 
 // Preset builds a cluster from a machine preset name: "jaguar", "franklin",
@@ -162,6 +162,8 @@ func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
 // On error the world is unusable (the kernel has already been reset) and
 // must be Shutdown, which is what Pool.Rent does before falling back to
 // fresh construction.
+//
+//repro:hotpath
 func (c *Cluster) Reset(cfg Config) error {
 	c.kernel.Reset()
 	if err := c.fs.Reset(fsConfigFor(c.machine, cfg)); err != nil {

@@ -8,7 +8,7 @@ import (
 
 func TestPresets(t *testing.T) {
 	cases := map[string]int{"jaguar": 672, "franklin": 96, "xtp": 40}
-	for name, osts := range cases {
+	for name, osts := range cases { //repro:allow nodeterm independent table-driven cases; each builds its own world
 		c, err := Preset(name, Config{Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

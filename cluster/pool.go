@@ -41,6 +41,8 @@ func NewPool() *Pool {
 // on error and cancellation paths, which is why the scenario executors defer
 // it immediately. If an available world fails to Reset it is shut down and
 // the error returned (the same configuration error a fresh build would hit).
+//
+//repro:hotpath
 func (p *Pool) Rent(machine string, cfg Config) (*Cluster, error) {
 	if p == nil {
 		return Preset(machine, cfg)
@@ -66,6 +68,8 @@ func (p *Pool) Rent(machine string, cfg Config) (*Cluster, error) {
 // not come from a live pool (nil pool, or a cluster built directly) are shut
 // down instead, as is a world whose bucket is already occupied. Return(nil)
 // is a no-op so error paths can return whatever Rent produced.
+//
+//repro:hotpath
 func (p *Pool) Return(c *Cluster) {
 	if c == nil {
 		return
@@ -87,7 +91,7 @@ func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
-	for k, c := range p.worlds {
+	for k, c := range p.worlds { //repro:allow nodeterm teardown outside any simulation; shutdown order is immaterial
 		c.Shutdown()
 		delete(p.worlds, k)
 	}

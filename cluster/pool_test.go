@@ -190,7 +190,7 @@ func TestWorldReuseZeroAlloc(t *testing.T) {
 
 	var cur *Cluster
 	body := func(pr *simkernel.Proc) {
-		cur.FileSystem().OST(pr.ID() % 4).Write(pr, 1000)
+		cur.FileSystem().OST(pr.ID()%4).Write(pr, 1000)
 	}
 	cycle := func() {
 		c, err := p.Rent("xtp", cfg)

@@ -28,9 +28,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/scenario/scenariocli"
 	"repro/metrics"
 )
@@ -84,7 +84,7 @@ func main() {
 
 	var summary strings.Builder
 	fmt.Fprintf(&summary, "Reproduction run: mode=%s seed=%d at %s\n\n",
-		mode, seed, time.Now().Format(time.RFC3339))
+		mode, seed, profiling.Timestamp())
 
 	// --- Section II ---
 	if sel("fig1") {
@@ -257,19 +257,19 @@ func workersFor(parallel int) int {
 func runTimed[T any](summary *strings.Builder, name string, parallel int, seqBaseline bool,
 	run func(parallel int) (T, error)) (T, error) {
 	step(name)
-	start := time.Now()
+	sw := profiling.StartStopwatch()
 	res, err := run(parallel)
 	if err != nil {
 		return res, err
 	}
-	par := time.Since(start)
+	par := sw.Elapsed()
 	w := workersFor(parallel)
 	if seqBaseline && w > 1 {
-		start = time.Now()
+		sw = profiling.StartStopwatch()
 		if _, err := run(1); err != nil {
 			return res, err
 		}
-		seq := time.Since(start)
+		seq := sw.Elapsed()
 		fmt.Printf("    %.2fs on %d workers vs %.2fs sequential — %.2fx speedup\n",
 			par.Seconds(), w, seq.Seconds(), seq.Seconds()/par.Seconds())
 		fmt.Fprintf(summary, "timing %s: %.2fs on %d workers, %.2fs sequential (%.2fx)\n",

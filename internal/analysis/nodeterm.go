@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoDeterm rejects the ambient nondeterminism that breaks bit-identical
+// replica execution:
+//
+//   - calls to wall-clock time functions (time.Now, time.Since, time.Sleep,
+//     timers, tickers) anywhere in the module — virtual time comes from the
+//     simulation kernel, and the only sanctioned wall-clock call sites are
+//     the explicitly waived helpers in internal/profiling;
+//   - imports of crypto/rand anywhere, and of math/rand in simulation
+//     packages (construction of math/rand generators elsewhere is rngxonly's
+//     domain);
+//   - `for range` over a map in simulation packages, unless the loop body
+//     only appends to a local slice that is subsequently sorted in the same
+//     block — the one iteration-order-independent idiom. Everything else
+//     silently reorders floating-point accumulation, RNG draws or event
+//     scheduling and kills golden checksums.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock time, ambient randomness and order-dependent map iteration on the simulation path",
+	Run:  runNoDeterm,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the wall clock. Pure conversions (time.Duration, time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNoDeterm(pass *Pass) error {
+	sim := isSimPackage(pass.Path)
+
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "crypto/rand":
+				pass.Reportf(imp.Pos(), "crypto/rand is nondeterministic by design; every draw must come from an internal/rngx stream")
+			case "math/rand", "math/rand/v2":
+				if sim {
+					pass.Reportf(imp.Pos(), "simulation packages must not import %s; derive a stream from internal/rngx instead", path)
+				}
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				wallClockFuncs[fn.Name()] && isPkgFunc(fn, "time", fn.Name()) {
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation results must depend only on virtual time (route timing through internal/profiling, or waive with //repro:allow nodeterm <reason>)", fn.Name())
+			}
+			return true
+		})
+
+		if sim {
+			checkMapRanges(pass, f)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges flags map iteration except the append-then-sort idiom.
+func checkMapRanges(pass *Pass, f *ast.File) {
+	for _, list := range stmtLists(f) {
+		for i, s := range list {
+			rng, ok := unlabel(s).(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := pass.Info.Types[rng.X].Type
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			if mapRangeSortedIdiom(pass, rng, list[i+1:]) {
+				continue
+			}
+			pass.Reportf(rng.Pos(), "map iteration order is nondeterministic; collect keys into a sorted slice first (or waive with //repro:allow nodeterm <reason> if order provably cannot affect results)")
+		}
+	}
+}
+
+// mapRangeSortedIdiom recognizes the sanctioned pattern: the loop body is a
+// single append of the key (or value) onto a local slice, and a later
+// statement in the same block sorts that slice.
+func mapRangeSortedIdiom(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := unlabel(rng.Body.List[0]).(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) < 2 {
+		return false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[lhs]
+	if obj == nil {
+		obj = pass.Info.Defs[lhs]
+	}
+	if obj == nil || pass.Info.Uses[base] != obj || !localVar(pass.Pkg, obj) {
+		return false
+	}
+	// A later statement in the same block must sort the slice.
+	for _, s := range rest {
+		es, ok := unlabel(s).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isSortCall(pass.Info, call, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether the call sorts the slice bound to obj via the
+// sort or slices packages.
+func isSortCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+		default:
+			return false
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	// The sorted operand must mention the collected slice.
+	for _, arg := range call.Args {
+		mentions := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				mentions = true
+				return false
+			}
+			return true
+		})
+		if mentions {
+			return true
+		}
+	}
+	return false
+}

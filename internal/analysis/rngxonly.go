@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// RngxOnly enforces the substream discipline: every random draw in this
+// repository flows through internal/rngx, whose named streams make draw
+// sequences independent of consumer ordering and whose source is reseedable
+// bit-identically for world reuse. Direct math/rand (or math/rand/v2) use
+// anywhere else — rand.New, rand.NewSource, the ambient global functions —
+// bypasses that discipline, so it is rejected outside internal/rngx itself
+// and its stdlib-equivalence test files.
+var RngxOnly = &Analyzer{
+	Name: "rngxonly",
+	Doc:  "all randomness must flow through internal/rngx streams",
+	Run:  runRngxOnly,
+}
+
+const rngxPath = "repro/internal/rngx"
+
+func runRngxOnly(pass *Pass) error {
+	if basePath(pass.Path) == rngxPath {
+		return nil // rngx wraps math/rand; its package and test files are the one sanctioned consumer
+	}
+
+	randPkgs := map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+	for _, f := range pass.Files {
+		used := map[string]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || !randPkgs[pkgName.Imported().Path()] {
+				return true
+			}
+			used[pkgName.Imported().Path()] = true
+			pass.Reportf(sel.Pos(), "%s.%s bypasses the internal/rngx substream discipline; derive a named stream (rngx.New / rngx.NewNamed / Source.Derive) instead", pkgName.Imported().Path(), sel.Sel.Name)
+			return true
+		})
+
+		// A rand import with no selector uses (a blank or dot import, or an
+		// import kept only for its side effects) still pulls the package in.
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && randPkgs[path] && !used[path] {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rngx; all randomness must flow through rngx streams", path)
+			}
+		}
+	}
+	return nil
+}

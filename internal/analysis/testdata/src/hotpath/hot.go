@@ -1,0 +1,135 @@
+// Package hot exercises the hotpath analyzer: only functions annotated
+// //repro:hotpath are audited, for capturing closures, formatting calls,
+// interface boxing and appends to storage the function does not own.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ring struct {
+	buf   []int
+	spill []int
+	gen   int
+}
+
+var errFull = errors.New("ring full")
+
+var sink any
+
+var global []int
+
+func consume(v any)         { _ = v }
+func consumeMany(vs ...any) { _ = vs }
+
+// push is the annotated happy case: receiver-owned append, concrete locals,
+// panic-path formatting only.
+//
+//repro:hotpath
+func (r *ring) push(v int) error {
+	if v < 0 {
+		panic(fmt.Sprintf("ring.push: negative value %d", v))
+	}
+	r.buf = append(r.buf, v)
+	local := make([]int, 0, 4)
+	local = append(local, v)
+	r.spill = local
+	r.gen++
+	if len(r.buf) > 1024 {
+		return errFull
+	}
+	return nil
+}
+
+// capture allocates a closure cell per call.
+//
+//repro:hotpath
+func (r *ring) capture(v int) func() int {
+	return func() int { return v + r.gen } // want `closure captures v, r and allocates per call`
+}
+
+// cachedClosure shows the waiver form for a once-built closure.
+//
+//repro:hotpath
+func cachedClosure(base int) func() int {
+	return func() int { //repro:allow hotpath built once and cached by the caller
+		return base
+	}
+}
+
+// selfContainedLiteral captures nothing: parameters and locals only.
+//
+//repro:hotpath
+func selfContainedLiteral() func(int) int {
+	return func(x int) int {
+		y := x * 2
+		return y
+	}
+}
+
+//repro:hotpath
+func formatting(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt.Sprintf allocates through reflection-driven formatting`
+}
+
+//repro:hotpath
+func coldError() error {
+	return errors.New("boom") // want `errors.New allocates per call`
+}
+
+//repro:hotpath
+func boxing(n int, ch chan any) {
+	sink = n          // want `converting int to any boxes the value`
+	consume(n)        // want `converting int to any boxes the value`
+	consumeMany(n, n) // want `converting int to any boxes the value` `converting int to any boxes the value`
+	ch <- n           // want `converting int to any boxes the value`
+	var v any = n     // want `converting int to any boxes the value`
+	_ = v
+	_ = any(n) // want `converting int to any boxes the value`
+}
+
+//repro:hotpath
+func pointerShapedAndNilAreFree(p *int, m map[int]int, f func(), vs []any) {
+	sink = p
+	sink = m
+	sink = f
+	sink = nil
+	consumeMany(vs...) // passing the slice through does not box
+	consume(p)
+}
+
+//repro:hotpath
+func boxingInPanicIsSanctioned(n int) {
+	if n < 0 {
+		panic(n)
+	}
+}
+
+//repro:hotpath
+func returnsBoxed(n int) any {
+	return n // want `converting int to any boxes the value`
+}
+
+//repro:hotpath
+func appendToParam(dst []int, v int) []int {
+	return append(dst, v) // want `append to dst, which this function does not own`
+}
+
+//repro:hotpath
+func appendToGlobal(v int) {
+	global = append(global, v) // want `append to global, which this function does not own`
+}
+
+//repro:hotpath
+func appendWaived(dst []int, v int) []int {
+	return append(dst, v) //repro:allow hotpath caller passes the scratch buffer by design
+}
+
+// unannotated is full of everything hotpath hates, and reports nothing.
+func unannotated(dst []int, n int) ([]int, string, error) {
+	sink = n
+	c := func() int { return n }
+	_ = c
+	return append(dst, n), fmt.Sprintf("%d", n), errors.New("x")
+}

@@ -1,0 +1,27 @@
+// Package tool exercises nodeterm outside the simulation packages: wall-clock
+// reads are still policed (results must be reproducible end to end), but map
+// iteration and math/rand imports are not nodeterm's business here — direct
+// math/rand construction is rngxonly's domain.
+package tool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// mapRangeIsFineOffSimPath: a CLI summarizing results may iterate freely.
+func mapRangeIsFineOffSimPath(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mathRandIsRngxonlysDomain() int {
+	return rand.Intn(10)
+}

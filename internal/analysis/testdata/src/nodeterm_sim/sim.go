@@ -1,0 +1,110 @@
+// Package sim exercises nodeterm inside a simulation package: wall-clock
+// calls, ambient randomness imports, and map iteration are all policed here.
+package sim
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic by design`
+	"math/rand"         // want `simulation packages must not import math/rand`
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time.Now reads the wall clock`
+	time.Sleep(1)         // want `time.Sleep reads the wall clock`
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// pureTimeUsesAreFine only converts and compares; no wall-clock reads.
+func pureTimeUsesAreFine(ms int) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	u := time.Unix(0, 0)
+	_ = u
+	return d
+}
+
+func waivedWallClock() time.Time {
+	return time.Now() //repro:allow nodeterm fixture exercises the trailing waiver
+}
+
+func waivedStandalone() time.Time {
+	//repro:allow nodeterm fixture exercises the standalone waiver
+	return time.Now()
+}
+
+func ambientRandomness() {
+	var b [8]byte
+	crand.Read(b[:])
+	_ = rand.Int()
+}
+
+func mapOrderLeaks(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// sortedIdiom is the sanctioned pattern: collect keys, sort, then iterate.
+func sortedIdiom(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// sortSliceIdiom uses sort.Slice with a comparator mentioning the slice.
+func sortSliceIdiom(m map[string]int) []string {
+	names := []string{}
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// unsortedCollect appends but never sorts: still order-dependent.
+func unsortedCollect(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// bodyDoesMore than the single append: not the idiom.
+func bodyDoesMore(m map[int]int) []int {
+	var keys []int
+	total := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		total += k
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	_ = total
+	return keys
+}
+
+func waivedMapRange(m map[int]int) int {
+	n := 0
+	for range m { //repro:allow nodeterm counting only, order cannot matter
+		n++
+	}
+	return n
+}
+
+// rangeOverSliceIsFine never touches a map.
+func rangeOverSliceIsFine(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,110 @@
+// Package reset exercises resetcomplete: every field of a type with a Reset
+// (or reset) method must be assigned there, reached through a callee, or
+// waived with //repro:reset-skip.
+package reset
+
+type kernel struct{ now float64 }
+
+func (k *kernel) Reset() { k.now = 0 }
+
+// complete resets every field directly.
+type complete struct {
+	a int
+	b float64
+}
+
+func (c *complete) Reset() {
+	c.a = 0
+	c.b = 0
+}
+
+// incomplete forgets b: the bug class this analyzer exists for.
+type incomplete struct {
+	a int
+	b float64
+}
+
+func (i *incomplete) Reset() { // want `incomplete.Reset: field b is not reset`
+	i.a = 0
+}
+
+// lowercase reset methods are held to the same standard.
+type unexported struct {
+	a int
+	b int
+}
+
+func (u *unexported) reset() { // want `unexported.reset: field b is not reset`
+	u.a = 0
+}
+
+// waived carries a reset-skip on the field the method cannot touch.
+type waived struct {
+	k *kernel //repro:reset-skip immutable wiring, set once at construction
+	n int
+}
+
+func (w *waived) Reset() {
+	w.n = 0
+}
+
+// delegating hands fields to their own Reset methods and helpers.
+type delegating struct {
+	sub   kernel
+	cache map[int]int
+	buf   []float64
+	seen  [4]bool
+	gen   int
+	extra int
+}
+
+func (d *delegating) Reset() {
+	d.sub.Reset()
+	clear(d.cache)
+	d.buf = d.buf[:0]
+	for i := range d.seen {
+		d.seen[i] = false
+	}
+	d.gen++
+	d.resetExtra()
+}
+
+func (d *delegating) resetExtra() {
+	d.extra = 0
+}
+
+// wholesale zeroes the receiver in one statement.
+type wholesale struct {
+	a, b, c int
+}
+
+func (w *wholesale) Reset() {
+	*w = wholesale{}
+}
+
+// aliased resets a field through a pointer taken from the receiver.
+type aliased struct {
+	slots [8]int
+	n     int
+}
+
+func (a *aliased) Reset() {
+	p := &a.slots
+	for i := range p {
+		p[i] = 0
+	}
+	a.n = 0
+}
+
+// valueReceiver cannot reset anything; the analyzer skips it rather than
+// reporting every field.
+type valueReceiver struct {
+	a int
+}
+
+func (v valueReceiver) Reset() {}
+
+// unrelated has no Reset method at all.
+type unrelated struct {
+	a int
+}

@@ -1,0 +1,20 @@
+// Package stats exercises rngxonly: any math/rand use outside
+// repro/internal/rngx must go through an rngx stream instead.
+package stats
+
+import (
+	"math/rand"
+	_ "math/rand/v2" // want `import of math/rand/v2 outside internal/rngx`
+)
+
+func construct(seed int64) *rand.Rand { // want `math/rand.Rand bypasses the internal/rngx substream discipline`
+	return rand.New(rand.NewSource(seed)) // want `math/rand.New bypasses` `math/rand.NewSource bypasses`
+}
+
+func ambient() float64 {
+	return rand.Float64() // want `math/rand.Float64 bypasses`
+}
+
+func waived() int {
+	return rand.Int() //repro:allow rngxonly fixture exercises the waiver
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// basePath canonicalizes a package path for policy decisions: cmd/go's
+// test-variant decoration ("pkg [pkg.test]") and the external-test suffix
+// ("pkg_test") are stripped, so a package and its test packages are governed
+// by the same rules.
+func basePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// simPackages are the import paths (exact or prefix) whose code executes
+// inside — or constructs — the deterministic simulation: everything whose
+// behaviour feeds a golden checksum. Map iteration order and ambient
+// randomness in these packages silently change experiment bits.
+var simPackages = []string{
+	"repro/adios",
+	"repro/cluster",
+	"repro/metrics",
+	"repro/internal/bp",
+	"repro/internal/core",
+	"repro/internal/experiments",
+	"repro/internal/interference",
+	"repro/internal/iomethod",
+	"repro/internal/ior",
+	"repro/internal/machines",
+	"repro/internal/mpisim",
+	"repro/internal/pfs",
+	"repro/internal/runner",
+	"repro/internal/scenario",
+	"repro/internal/simkernel",
+	"repro/internal/stats",
+	"repro/internal/trace",
+	"repro/internal/transports",
+	"repro/internal/workloads",
+}
+
+// isSimPackage reports whether the (canonicalized) package path is on the
+// simulation path.
+func isSimPackage(path string) bool {
+	p := basePath(path)
+	for _, s := range simPackages {
+		if p == s || strings.HasPrefix(p, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to its static callee, or nil for
+// dynamic calls, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (methods never match).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// stmtLists collects every statement list in the file (block bodies, case
+// and comm clause bodies), for checks that need a statement's successors.
+func stmtLists(f *ast.File) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, n.List)
+		case *ast.CaseClause:
+			lists = append(lists, n.Body)
+		case *ast.CommClause:
+			lists = append(lists, n.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+// unlabel unwraps labeled statements.
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+// localVar reports whether obj is a function-local variable (not a field,
+// not package-level).
+func localVar(pkg *types.Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != pkg.Scope() && v.Parent() != types.Universe
+}

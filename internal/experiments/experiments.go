@@ -137,4 +137,3 @@ func firstN(n int) []int {
 	}
 	return out
 }
-

@@ -255,7 +255,7 @@ func Fig7(results []*EvalResult) []metrics.Figure {
 		// Collect (method, condition) combos and proc counts in stable order.
 		procsSeen := map[int]bool{}
 		var procs []int
-		for key := range er.ElapsedSamples {
+		for key := range er.ElapsedSamples { //repro:allow nodeterm dedup pass; order and procs are both sorted just below
 			k := sk{key.Method, key.Condition}
 			if seriesFor[k] == nil {
 				seriesFor[k] = &metrics.Series{Name: fmt.Sprintf("%s-%s", k.method, k.cond)}
@@ -301,7 +301,7 @@ func SpeedupSummary(er *EvalResult) metrics.Table {
 	conds := map[Condition]bool{}
 	procsSeen := map[int]bool{}
 	var procs []int
-	for key := range er.BWSamples {
+	for key := range er.BWSamples { //repro:allow nodeterm dedup pass; procs is sorted below and conds is only membership-tested
 		conds[key.Condition] = true
 		if !procsSeen[key.Procs] {
 			procsSeen[key.Procs] = true

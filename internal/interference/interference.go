@@ -99,12 +99,12 @@ type Noise struct {
 	grng       *rngx.Source
 	hrng       *rngx.Source
 	ostRng     []*rngx.Source
-	ostLabels  []string // stream-derivation labels "ost-%d"
-	ostNames   []string // spawn names "noise-ost%d"
+	ostLabels  []string //repro:reset-skip immutable "ost-%d" labels, built once by Start
+	ostNames   []string //repro:reset-skip immutable "noise-ost%d" spawn names, built once by Start
 	mm         []*rngx.MarkovOnOff
-	globalBody func(p *simkernel.Proc)
-	hotBody    func(p *simkernel.Proc)
-	ostBodies  []func(p *simkernel.Proc)
+	globalBody func(p *simkernel.Proc)   //repro:reset-skip cached process body, built once by Start
+	hotBody    func(p *simkernel.Proc)   //repro:reset-skip cached process body, built once by Start
+	ostBodies  []func(p *simkernel.Proc) //repro:reset-skip cached process bodies, built once by Start
 }
 
 type ostMood struct {

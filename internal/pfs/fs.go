@@ -38,7 +38,7 @@ type File struct {
 
 // FileSystem is a simulated parallel file system instance.
 type FileSystem struct {
-	K    *simkernel.Kernel
+	K    *simkernel.Kernel //repro:reset-skip immutable wiring to the owning kernel
 	Cfg  Config
 	OSTs []*OST
 	MDS  *MDS

@@ -18,7 +18,7 @@ type MDSStats struct {
 // here it matters because file open/create storms from tens of thousands of
 // writers queue behind it, which the stagger-open technique mitigates.
 type MDS struct {
-	k     *simkernel.Kernel
+	k     *simkernel.Kernel //repro:reset-skip immutable wiring to the owning kernel
 	res   *simkernel.Resource
 	src   *rngx.Source
 	mean  float64

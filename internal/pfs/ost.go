@@ -43,10 +43,10 @@ type OSTStats struct {
 // write-back cache. All methods must be called in kernel or process context
 // of the owning kernel.
 type OST struct {
-	ID int
+	ID int //repro:reset-skip identity, fixed at construction
 
 	k   *simkernel.Kernel
-	cfg *Config
+	cfg *Config //repro:reset-skip aliases &FileSystem.Cfg, which Reset reassigns in place
 
 	flows     []*flow
 	freeFlows []*flow // recycled flow records
@@ -66,7 +66,7 @@ type OST struct {
 	lastUpdate    simkernel.Time
 
 	boundary   simkernel.Timer
-	onBoundary func() // cached boundary callback, built once
+	onBoundary func() //repro:reset-skip cached boundary callback, built once per OST
 
 	// Replan cache: planValid is invalidated by any membership or knob
 	// change; while it holds and the cache-full regime is unchanged, a
@@ -78,8 +78,8 @@ type OST struct {
 
 	// Water-fill scratch buffers, owned by the OST so replanning under
 	// mixed per-flow caps stays allocation-free.
-	rateScratch  []float64
-	unsatScratch []int
+	rateScratch  []float64 //repro:reset-skip scratch, fully overwritten by each water-fill
+	unsatScratch []int     //repro:reset-skip scratch, fully overwritten by each water-fill
 
 	Stats OSTStats
 }
@@ -201,6 +201,8 @@ func (o *OST) SetSlowFactor(s float64) {
 // cap (<=0 means the configured ClientCap) and calls done in kernel context
 // when the final byte is accepted. It returns immediately; use Write for the
 // blocking client-side call.
+//
+//repro:hotpath
 func (o *OST) StartWrite(bytes float64, streamCap float64, done func()) {
 	if bytes < 0 {
 		panic("pfs: negative write size")
@@ -228,6 +230,8 @@ func (o *OST) StartWrite(bytes float64, streamCap float64, done func()) {
 
 // Write blocks the calling process until bytes have been accepted by the
 // OST (cache or disk). It includes the fixed per-operation latency.
+//
+//repro:hotpath
 func (o *OST) Write(p *simkernel.Proc, bytes float64) {
 	if o.cfg.WriteLatency > 0 {
 		p.Sleep(o.cfg.WriteLatency)
@@ -243,6 +247,8 @@ func (o *OST) Write(p *simkernel.Proc, bytes float64) {
 // Flush blocks the calling process until every byte ingested by this OST
 // before the call has been drained to disk (the explicit flush the paper
 // inserts before close).
+//
+//repro:hotpath
 func (o *OST) Flush(p *simkernel.Proc) {
 	o.advance()
 	if o.cacheLevel <= completionEps {
@@ -263,6 +269,8 @@ func (o *OST) effNet(streams int) float64 { return o.cfg.NetEff.Eval(streams) }
 // plan computes, from current membership, the per-flow ingest rates and the
 // drain rate. It returns (sumInflow, drain) and records the plan signature
 // so unchanged boundary events can skip the next full replan.
+//
+//repro:hotpath
 func (o *OST) plan() (sumInflow, drain float64) {
 	n := len(o.flows)
 	m := o.extStreams
@@ -347,6 +355,8 @@ func (o *OST) plan() (sumInflow, drain float64) {
 // flows release budget to others. Results land in the OST-owned scratch
 // buffer, so replanning allocates nothing once the buffers have grown to the
 // peak flow count.
+//
+//repro:hotpath
 func (o *OST) waterFillScratch(budget float64, capFactor float64) []float64 {
 	n := len(o.flows)
 	if cap(o.rateScratch) < n {
@@ -403,6 +413,8 @@ func waterFillFactor(flows []*flow, budget float64, capFactor float64) []float64
 // advance integrates the fluid state from lastUpdate to now at the rates
 // currently in force, completing flows and waking flush waiters whose
 // conditions are met.
+//
+//repro:hotpath
 func (o *OST) advance() {
 	now := o.k.Now()
 	dt := (now - o.lastUpdate).Seconds()
@@ -446,6 +458,8 @@ func (o *OST) advance() {
 }
 
 // fireCompletions completes exhausted flows and satisfied flush waiters.
+//
+//repro:hotpath
 func (o *OST) fireCompletions() {
 	keep := o.flows[:0]
 	for _, f := range o.flows {
@@ -491,6 +505,8 @@ func (o *OST) fireCompletions() {
 // the cache-full regime unchanged — the planned rates are reused and only
 // the next boundary is recomputed (flush-watermark boundaries and no-op
 // wakeups hit this path).
+//
+//repro:hotpath
 func (o *OST) recompute() {
 	o.boundary.Cancel()
 	o.boundary = simkernel.Timer{}

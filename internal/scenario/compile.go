@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,7 +42,7 @@ func (s *Scenario) Points() []Point {
 					np.Samples = v.Samples
 				}
 				np.Params[ax.Name] = v
-				for k, wv := range v.With {
+				for k, wv := range v.With { //repro:allow nodeterm keyed map-to-map merge; result is independent of visit order
 					np.Params[k] = wv
 				}
 				next = append(next, np)
@@ -104,7 +105,15 @@ func (s *Scenario) Validate() error {
 	}
 	for _, ax := range s.Axes {
 		for _, v := range ax.Values {
+			// Check bound names in sorted order so that when a value binds
+			// several conflicting names, validation deterministically reports
+			// the same one every run.
+			binds := make([]string, 0, len(v.With))
 			for k := range v.With {
+				binds = append(binds, k)
+			}
+			sort.Strings(binds)
+			for _, k := range binds {
 				if k != ax.Name && names[k] {
 					return fmt.Errorf("scenario %s: axis %q value %q binds %q, which conflicts with grid axis %q",
 						s.seedLabel(), ax.Name, ax.labelFor(v), k, k)

@@ -407,3 +407,37 @@ func TestRegistryLoad(t *testing.T) {
 		t.Error("want file error")
 	}
 }
+
+func TestWithConflictReportedDeterministically(t *testing.T) {
+	// A value that binds several names colliding with grid axes must always
+	// report the same one (the alphabetically first), regardless of map
+	// iteration order — validation errors are part of reproducible output.
+	build := func() Scenario {
+		v := StrValue("jaguar")
+		v.With = map[string]Value{
+			"zz": NumValue(1), "mm": NumValue(2), "aa": NumValue(3),
+		}
+		return Scenario{
+			Name:     "v",
+			NumOSTs:  2,
+			Samples:  1,
+			Workload: Workload{Kind: KindIOR, Writers: 2, SizeMB: 1},
+			Axes: []Axis{
+				{Name: "machine", Values: []Value{v}},
+				{Name: "zz", Values: []Value{NumValue(1)}},
+				{Name: "mm", Values: []Value{NumValue(1)}},
+				{Name: "aa", Values: []Value{NumValue(1)}},
+			},
+		}
+	}
+	for i := 0; i < 30; i++ {
+		s := build()
+		err := s.Validate()
+		if err == nil {
+			t.Fatal("conflicting with-bundle accepted")
+		}
+		if !strings.Contains(err.Error(), `binds "aa"`) {
+			t.Fatalf("iteration %d: error picked a different binding: %v", i, err)
+		}
+	}
+}

@@ -214,7 +214,7 @@ func (p Params) Bool(name string, def bool) bool {
 
 func cloneParams(p Params) Params {
 	out := make(Params, len(p)+1)
-	for k, v := range p {
+	for k, v := range p { //repro:allow nodeterm keyed map-to-map copy; result is independent of visit order
 		out[k] = v
 	}
 	return out

@@ -92,6 +92,8 @@ type Timer struct {
 
 // Cancel prevents the timer's event from firing. Safe to call multiple
 // times, on the zero Timer, and after the event has fired.
+//
+//repro:hotpath
 func (t Timer) Cancel() {
 	if t.k != nil {
 		t.k.cancel(t.id, t.gen)
@@ -123,18 +125,18 @@ type Kernel struct {
 	// yield is the handoff channel: a running process sends on it exactly
 	// once each time it parks or terminates, returning control to the
 	// kernel loop.
-	yield chan struct{}
+	yield chan struct{} //repro:reset-skip identity: recycled goroutines hold this exact channel
 
 	procs      []*Proc
 	idle       []*Proc // recycled processes: goroutine parked, awaiting a new body
 	nextProcID int
 
-	running  bool
+	running  bool //repro:reset-skip only ever true inside RunUntil, which cannot overlap Reset
 	finished bool
 
 	// EventLimit, when positive, aborts Run with a panic after that many
 	// events — a guard against accidental unbounded simulations in tests.
-	EventLimit uint64
+	EventLimit uint64 //repro:reset-skip caller-owned guard knob, deliberately survives Reset
 }
 
 // New creates an empty kernel with the clock at zero.
@@ -147,6 +149,8 @@ func (k *Kernel) Now() Time { return k.now }
 
 // alloc takes a pool slot from the free list, growing the pool only when the
 // free list is empty (steady-state scheduling therefore never allocates).
+//
+//repro:hotpath
 func (k *Kernel) alloc() int32 {
 	if n := len(k.free); n > 0 {
 		id := k.free[n-1]
@@ -159,6 +163,8 @@ func (k *Kernel) alloc() int32 {
 
 // release returns a pool slot to the free list, bumping its generation so
 // outstanding Timer handles for the old occupant go stale.
+//
+//repro:hotpath
 func (k *Kernel) release(id int32) {
 	rec := &k.pool[id]
 	rec.fire = nil
@@ -170,6 +176,8 @@ func (k *Kernel) release(id int32) {
 }
 
 // push inserts an item into the 4-ary heap.
+//
+//repro:hotpath
 func (k *Kernel) push(it heapItem) {
 	q := append(k.queue, it)
 	i := len(q) - 1
@@ -185,6 +193,8 @@ func (k *Kernel) push(it heapItem) {
 }
 
 // siftDown restores heap order below position i.
+//
+//repro:hotpath
 func (k *Kernel) siftDown(i int) {
 	q := k.queue
 	n := len(q)
@@ -211,6 +221,8 @@ func (k *Kernel) siftDown(i int) {
 }
 
 // popMin removes and returns the earliest item. The queue must be non-empty.
+//
+//repro:hotpath
 func (k *Kernel) popMin() heapItem {
 	q := k.queue
 	top := q[0]
@@ -226,6 +238,8 @@ func (k *Kernel) popMin() heapItem {
 // cancel marks the event (id, gen) cancelled if it is still the pending
 // occupant of its slot; the queue entry is dropped lazily. When cancelled
 // entries outnumber half the queue, the queue is compacted in one pass.
+//
+//repro:hotpath
 func (k *Kernel) cancel(id int32, gen uint32) {
 	if int(id) >= len(k.pool) {
 		return
@@ -243,6 +257,8 @@ func (k *Kernel) cancel(id int32, gen uint32) {
 
 // compact removes every cancelled entry from the queue and re-heapifies.
 // Pop order is unaffected: the heap order is a total order on (time, seq).
+//
+//repro:hotpath
 func (k *Kernel) compact() {
 	kept := k.queue[:0]
 	for _, it := range k.queue {
@@ -264,6 +280,8 @@ func (k *Kernel) compact() {
 
 // scheduleFn inserts a callback event at absolute time at (clamped to now)
 // and returns its pool slot and generation.
+//
+//repro:hotpath
 func (k *Kernel) scheduleFn(at Time, fire func()) (int32, uint32) {
 	if at < k.now {
 		at = k.now
@@ -281,6 +299,8 @@ func (k *Kernel) scheduleFn(at Time, fire func()) (int32, uint32) {
 // scheduleProc inserts a process-wakeup event at absolute time at (clamped
 // to now). This is the closure-free fast path used by Sleep, Waker, mailbox
 // delivery and resource handoff.
+//
+//repro:hotpath
 func (k *Kernel) scheduleProc(at Time, p *Proc) {
 	if at < k.now {
 		at = k.now
@@ -296,12 +316,16 @@ func (k *Kernel) scheduleProc(at Time, p *Proc) {
 // At schedules fn to run in kernel context at absolute virtual time at.
 // Times in the past are clamped to the present. The returned Timer may be
 // used to cancel the event.
+//
+//repro:hotpath
 func (k *Kernel) At(at Time, fn func()) Timer {
 	id, gen := k.scheduleFn(at, fn)
 	return Timer{k: k, id: id, gen: gen}
 }
 
 // After schedules fn to run in kernel context after virtual duration d.
+//
+//repro:hotpath
 func (k *Kernel) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -310,6 +334,8 @@ func (k *Kernel) After(d time.Duration, fn func()) Timer {
 }
 
 // AfterSeconds schedules fn after a floating-point number of virtual seconds.
+//
+//repro:hotpath
 func (k *Kernel) AfterSeconds(s float64, fn func()) Timer {
 	return k.At(k.now+FromSeconds(s), fn)
 }
@@ -325,13 +351,15 @@ func (k *Kernel) Run() Time {
 // RunUntil executes events with timestamps <= deadline and returns the
 // current virtual time afterwards. Events beyond the deadline remain queued,
 // so the simulation may be resumed with a later deadline.
+//
+//repro:hotpath
 func (k *Kernel) RunUntil(deadline Time) Time {
 	if k.running {
 		panic("simkernel: Run re-entered")
 	}
 	k.running = true
 	k.finished = false
-	defer func() { k.running = false }()
+	defer func() { k.running = false }() //repro:allow hotpath one closure per RunUntil call, amortised over the whole event loop
 
 	var fired uint64
 	for len(k.queue) > 0 {
@@ -547,6 +575,8 @@ func (p *Proc) ID() int { return p.id }
 func (p *Proc) Done() bool { return p.state == procDone }
 
 // Sleep suspends the process for virtual duration d.
+//
+//repro:hotpath
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -557,6 +587,8 @@ func (p *Proc) Sleep(d time.Duration) {
 
 // SleepSeconds suspends the process for a floating-point number of virtual
 // seconds.
+//
+//repro:hotpath
 func (p *Proc) SleepSeconds(s float64) {
 	p.k.scheduleProc(p.k.now+FromSeconds(s), p)
 	p.park()
@@ -564,6 +596,8 @@ func (p *Proc) SleepSeconds(s float64) {
 
 // SleepUntil suspends the process until absolute virtual time at (no-op if
 // at is in the past).
+//
+//repro:hotpath
 func (p *Proc) SleepUntil(at Time) {
 	if at <= p.k.now {
 		return
@@ -583,9 +617,11 @@ func (p *Proc) Suspend() {
 // ordering). It must be called from kernel or process context of the same
 // kernel. The closure is built once per process and reused, so repeated
 // Waker calls do not allocate.
+//
+//repro:hotpath
 func (p *Proc) Waker() func() {
 	if p.waker == nil {
-		p.waker = func() { p.k.scheduleProc(p.k.now, p) }
+		p.waker = func() { p.k.scheduleProc(p.k.now, p) } //repro:allow hotpath cached in p.waker, built once per process
 	}
 	return p.waker
 }

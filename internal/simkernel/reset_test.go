@@ -1,11 +1,12 @@
 package simkernel
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/rngx"
 )
 
 // TestResetReplaysWorkloadBitIdentically is the core world-reuse contract at
@@ -162,7 +163,7 @@ func TestResetZeroAlloc(t *testing.T) {
 // runRandomWorkloadOn is runRandomWorkload against a caller-owned kernel
 // (fresh or Reset), without the trailing Shutdown.
 func runRandomWorkloadOn(k *Kernel, seed int64) []int64 {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rngx.New(seed)
 	mb := NewMailbox(k)
 	res := NewResource(k, 1+rng.Intn(3))
 	var trace []int64

@@ -72,7 +72,7 @@ func (m *Mailbox) TryRecv() (v any, ok bool) {
 // additional acquirers queue in arrival order. It models service points such
 // as the metadata server's request slots.
 type Resource struct {
-	k        *Kernel
+	k        *Kernel //repro:reset-skip immutable wiring to the owning kernel
 	capacity int
 	inUse    int
 	waiters  []*Proc

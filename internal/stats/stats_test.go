@@ -52,7 +52,7 @@ func TestCoV(t *testing.T) {
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5, 10: 1.4}
-	for p, want := range cases {
+	for p, want := range cases { //repro:allow nodeterm independent table-driven cases over a pure function
 		if got := Percentile(xs, p); !almost(got, want, 1e-12) {
 			t.Errorf("P%v = %v, want %v", p, got, want)
 		}

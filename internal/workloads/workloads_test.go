@@ -11,7 +11,7 @@ func TestPixie3DSizesMatchPaper(t *testing.T) {
 		Pixie3DLarge: 128 * 1024 * 1024,      // 128 MB/process
 		Pixie3DXL:    1 * 1024 * 1024 * 1024, // 1 GB/process
 	}
-	for size, want := range cases {
+	for size, want := range cases { //repro:allow nodeterm independent table-driven cases over pure generators
 		if got := size.BytesPerProcess(); got != want {
 			t.Errorf("%s = %d bytes, want %d", size, got, want)
 		}

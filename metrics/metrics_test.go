@@ -114,7 +114,7 @@ func TestFormatters(t *testing.T) {
 		3 << 20: "3.00 MB/s",
 		5 << 30: "5.00 GB/s",
 	}
-	for v, want := range cases {
+	for v, want := range cases { //repro:allow nodeterm independent table-driven cases over a pure formatter
 		if got := FormatBytesPerSec(v); got != want {
 			t.Errorf("FormatBytesPerSec(%v) = %q, want %q", v, got, want)
 		}
