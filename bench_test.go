@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ior"
 	"repro/internal/pfs"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 	"repro/metrics"
 )
@@ -257,6 +258,30 @@ func BenchmarkFig7StdDev(b *testing.B) {
 	if ratios > 0 {
 		b.ReportMetric(ratioSum/float64(ratios), "stddev-ratio")
 	}
+}
+
+// BenchmarkJobMixStep measures the multi-application step cost: each
+// iteration executes one replica of the default three-job mix (phased
+// checkpoint writer + ML trainer re-reading shards + metadata storm)
+// co-scheduled on a 16-OST Jaguar under the adaptive transport, reporting
+// the aggregate bandwidth delivered over the mix's makespan.
+func BenchmarkJobMixStep(b *testing.B) {
+	spec := scenario.Scenario{
+		Name:      "jobmix-bench",
+		NumOSTs:   16,
+		Samples:   1,
+		Transport: scenario.Transport{Method: "ADAPTIVE", OSTs: 16},
+		Jobs:      experiments.DefaultJobMix(),
+	}
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.RunOptions{Seed: int64(i), Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg = res.Points[0].Samples[0].AggregateBW
+	}
+	b.ReportMetric(agg/pfs.GB, "agg-GB/s")
 }
 
 // --- Ablations --------------------------------------------------------------

@@ -46,6 +46,15 @@ type Config struct {
 	// MessageLatency is the rank-to-rank control-message latency
 	// (default 5µs).
 	MessageLatency time.Duration
+
+	// WorldShape is a canonical description of the application structure
+	// that will run on this world (empty for the classic single-application
+	// experiments). It does not change simulation behaviour; it partitions
+	// the reuse pool so a world is only ever Reset into a replica with the
+	// same structure — e.g. a 3-job mix never reuses a world rented for a
+	// different mix. Scenario executors derive it deterministically from
+	// the spec (see scenario's job-mix resolver).
+	WorldShape string
 }
 
 // Cluster is a simulated machine instance.
@@ -248,8 +257,22 @@ func (c *Cluster) Trace(intervalSeconds float64) *trace.Tracer {
 // NewWorld creates a set of ranks on this cluster.
 func (c *Cluster) NewWorld(ranks int) *World {
 	return &World{
-		c: c,
-		w: mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat}),
+		c:    c,
+		name: "app",
+		w:    mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat}),
+	}
+}
+
+// NewJobWorld creates a set of ranks for one application of a co-scheduled
+// job mix: the world's processes are named after the job and tagged with its
+// file-system job id (from pfs.FileSystem.RegisterJob), so the storage layer
+// attributes their traffic. Multiple job worlds share the cluster's kernel
+// and file system; each has its own barrier and mailbox state.
+func (c *Cluster) NewJobWorld(name string, job int, ranks int) *World {
+	return &World{
+		c:    c,
+		name: name,
+		w:    mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat, Job: job}),
 	}
 }
 
@@ -286,8 +309,9 @@ func (c *Cluster) Now() float64 { return c.kernel.Now().Seconds() }
 
 // World is a communicator of ranks on a cluster.
 type World struct {
-	c *Cluster
-	w *mpisim.World
+	c    *Cluster
+	name string
+	w    *mpisim.World
 }
 
 // Size returns the number of ranks.
@@ -310,8 +334,11 @@ func (j *Join) Done() bool { return j.wg.Count() == 0 }
 // Rank is one application process.
 type Rank = mpisim.Rank
 
+// Name returns the world's application name ("app" for NewWorld).
+func (w *World) Name() string { return w.name }
+
 // Launch starts fn on every rank. Drive the cluster with Run (or
 // RunUntilDone with the returned Join).
 func (w *World) Launch(fn func(r *Rank)) *Join {
-	return &Join{wg: w.w.Launch("app", fn)}
+	return &Join{wg: w.w.Launch(w.name, fn)}
 }

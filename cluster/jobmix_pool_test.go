@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simkernel"
+)
+
+// TestPoolShapeKeySeparatesMixes is the stale-world regression test for the
+// extended pool key: renting with a different job-mix shape must never hand
+// back a world built (and dirtied) for another mix, while the same shape
+// keeps reusing its own world. Single-application rentals (empty shape)
+// stay in their own bucket.
+func TestPoolShapeKeySeparatesMixes(t *testing.T) {
+	p := &Pool{worlds: make(map[poolKey]*Cluster)}
+	defer p.Close()
+	mixA := Config{Seed: 1, NumOSTs: 4, WorldShape: "mix[app:ckpt:4:2]"}
+	mixB := Config{Seed: 1, NumOSTs: 4, WorldShape: "mix[app:ckpt:4:2 mlread:train:4:3]"}
+
+	a, err := p.Rent("xtp", mixA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Return(a)
+
+	b, err := p.Rent("xtp", mixB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("mismatched job mix reused a stale world")
+	}
+	p.Return(b)
+
+	a2, err := p.Rent("xtp", mixA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("same-mix rental did not reuse its own world")
+	}
+	p.Return(a2)
+
+	single, err := p.Rent("xtp", Config{Seed: 1, NumOSTs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single == a || single == b {
+		t.Fatal("single-application rental must not share a job-mix world")
+	}
+	p.Return(single)
+}
+
+// TestJobMixZeroAlloc extends TestWorldReuseZeroAlloc to multi-application
+// worlds: a steady-state rent → register jobs → run job-tagged traffic →
+// return cycle allocates nothing, per-job accounting included (the
+// attribution slices grow once and are truncated, not freed, on reset).
+func TestJobMixZeroAlloc(t *testing.T) {
+	p := &Pool{worlds: make(map[poolKey]*Cluster)}
+	defer p.Close()
+	cfg := Config{Seed: 42, NumOSTs: 4, WorldShape: "mix[zero-alloc-probe]"}
+
+	var cur *Cluster
+	write := func(pr *simkernel.Proc) {
+		cur.FileSystem().OST(pr.ID()%4).Write(pr, 1000)
+	}
+	meta := func(pr *simkernel.Proc) {
+		cur.FileSystem().MDS.Op(pr)
+	}
+	cycle := func() {
+		c, err := p.Rent("xtp", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = c
+		fs := c.FileSystem()
+		writer := fs.RegisterJob("writer")
+		storm := fs.RegisterJob("storm")
+		k := c.Kernel()
+		for i := 0; i < 4; i++ {
+			k.SpawnJob("w", writer, write)
+		}
+		for i := 0; i < 2; i++ {
+			k.SpawnJob("m", storm, meta)
+		}
+		k.Run()
+		if got := fs.JobIO(writer).BytesWritten; got != 4000 {
+			t.Fatalf("writer job accounted %g bytes, want 4000", got)
+		}
+		if got := fs.JobIO(storm).MetaOps; got != 2 {
+			t.Fatalf("storm job accounted %d metadata ops, want 2", got)
+		}
+		p.Return(c)
+	}
+	cycle() // builds the world and grows the attribution slices
+	cycle() // warms the reuse path
+	got := testing.AllocsPerRun(100, cycle)
+	if got != 0 {
+		t.Fatalf("job-mix rent/run/reset/return cycle allocates %v allocs/op in steady state; want 0", got)
+	}
+}

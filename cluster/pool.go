@@ -7,10 +7,14 @@ import (
 
 // poolKey identifies a bucket of interchangeable reusable worlds: clusters
 // built from the same machine preset at the same (requested) target count
-// differ only in per-replica seeds, which Reset re-derives.
+// for the same application shape differ only in per-replica seeds, which
+// Reset re-derives. The shape component (Config.WorldShape, empty for
+// single-application runs) keeps job-mix worlds from ever being reused for
+// a different mix.
 type poolKey struct {
 	machine string
 	numOSTs int
+	shape   string
 }
 
 // Pool hands out reusable simulation worlds. Each runner worker owns one
@@ -47,7 +51,7 @@ func (p *Pool) Rent(machine string, cfg Config) (*Cluster, error) {
 	if p == nil {
 		return Preset(machine, cfg)
 	}
-	key := poolKey{machine: strings.ToLower(machine), numOSTs: cfg.NumOSTs}
+	key := poolKey{machine: strings.ToLower(machine), numOSTs: cfg.NumOSTs, shape: cfg.WorldShape}
 	if c, ok := p.worlds[key]; ok {
 		delete(p.worlds, key)
 		if err := c.Reset(cfg); err != nil {

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/adios"
+	"repro/internal/scenario"
+)
+
+// tinyJobMix is the frontier study at smoke scale: the default template
+// list with shrunken jobs, two concurrency levels, one sample.
+func tinyJobMix() JobMixOptions {
+	return JobMixOptions{
+		Jobs: []scenario.JobSpec{
+			{Name: "ckpt", Kind: scenario.JobKindApp, Generator: "pixie3d-small",
+				Procs: 4, Phases: 2, PeriodSeconds: 2},
+			{Name: "train", Kind: scenario.JobKindMLRead, Procs: 4, SizeMB: 2,
+				Phases: 2, PeriodSeconds: 1, StartSeconds: 1},
+			{Name: "meta", Kind: scenario.JobKindMDTest, Procs: 2, FilesPerRank: 4,
+				Phases: 2, PeriodSeconds: 1},
+		},
+		MaxJobs: 3, Samples: 2, NumOSTs: 8, MPIOSTs: 4, AdaptiveOSTs: 8,
+		Seed: 11,
+	}
+}
+
+// TestJobMixFrontier runs the saturation-frontier driver end to end and
+// checks the demux: a case per (method, njobs) in sweep order, per-job
+// stats in launch order, and efficiencies anchored at 1.0 for each
+// method's least-contended point.
+func TestJobMixFrontier(t *testing.T) {
+	r, err := JobMix(tinyJobMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 6 { // 2 methods x njobs 1..3
+		t.Fatalf("cases = %d, want 6", len(r.Cases))
+	}
+	for i, c := range r.Cases {
+		wantMethod := adios.MethodMPI
+		if i >= 3 {
+			wantMethod = adios.MethodAdaptive
+		}
+		if c.Method != wantMethod || c.NJobs != i%3+1 {
+			t.Fatalf("case %d is (%s, %d); want (%s, %d)", i, c.Method, c.NJobs, wantMethod, i%3+1)
+		}
+		if len(c.Jobs) != c.NJobs {
+			t.Errorf("case %d has %d job stats, want %d", i, len(c.Jobs), c.NJobs)
+		}
+		if len(c.AggBW) != 2 {
+			t.Errorf("case %d has %d samples, want 2", i, len(c.AggBW))
+		}
+		if c.NJobs == 1 && c.Efficiency != 1 {
+			t.Errorf("case %d: 1-job efficiency = %g, want 1 (its own reference)", i, c.Efficiency)
+		}
+		if c.Efficiency <= 0 {
+			t.Errorf("case %d: efficiency = %g, want > 0", i, c.Efficiency)
+		}
+		for _, j := range c.Jobs {
+			if j.Efficiency <= 0 {
+				t.Errorf("case %d job %s: per-job efficiency = %g, want > 0", i, j.Name, j.Efficiency)
+			}
+		}
+	}
+	if len(r.Figure.Series) != 2 {
+		t.Errorf("figure has %d series, want one per method", len(r.Figure.Series))
+	}
+	tbl := JobMixTable(r)
+	if len(tbl.Rows) != 6 {
+		t.Errorf("table has %d rows, want 6", len(tbl.Rows))
+	}
+	line := JobMixLine(r)
+	if !strings.Contains(line, "MPI") || !strings.Contains(line, "ADAPTIVE") || !strings.Contains(line, "3 jobs") {
+		t.Errorf("summary line %q missing method/depth", line)
+	}
+}
+
+// TestJobMixFrontierParallelIdentical pins the frontier campaign's
+// determinism at the driver level: 1 worker and 8 workers produce the
+// same cases bit for bit.
+func TestJobMixFrontierParallelIdentical(t *testing.T) {
+	opt := tinyJobMix()
+	opt.Parallel = 1
+	seq, err := JobMix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 8
+	par, err := JobMix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Cases, par.Cases) {
+		t.Fatalf("frontier diverged across worker counts:\n seq %+v\n par %+v", seq.Cases, par.Cases)
+	}
+}
+
+// TestJobMixRegistered checks the CLI surface: the frontier is a
+// registered scenario whose quick preset compiles and validates.
+func TestJobMixRegistered(t *testing.T) {
+	def, ok := scenario.Lookup("jobmix-frontier")
+	if !ok {
+		t.Fatal("jobmix-frontier not registered")
+	}
+	spec, err := def.Spec("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("quick preset invalid: %v", err)
+	}
+	if len(spec.Jobs) < 3 {
+		t.Fatalf("quick preset declares %d job templates, want >= 3 heterogeneous jobs", len(spec.Jobs))
+	}
+	if _, err := def.Spec("warp"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}

@@ -80,6 +80,20 @@ func EvalPreset(mode string) (EvalOptions, error) {
 	return EvalOptions{}, nil
 }
 
+// JobMixPreset returns the saturation-frontier study for a preset mode.
+func JobMixPreset(mode string) (JobMixOptions, error) {
+	if err := checkMode(mode); err != nil {
+		return JobMixOptions{}, err
+	}
+	if mode == ModeQuick {
+		return JobMixOptions{
+			MaxJobs: 4, Samples: 3,
+			NumOSTs: 84, MPIOSTs: 20, AdaptiveOSTs: 64, // the eval grid's 1/8-scale Jaguar
+		}, nil
+	}
+	return JobMixOptions{}, nil
+}
+
 // MetadataPreset returns the open-storm study for a preset mode.
 func MetadataPreset(mode string) (MetadataOptions, error) {
 	if err := checkMode(mode); err != nil {

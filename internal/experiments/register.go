@@ -62,6 +62,18 @@ func init() {
 		workloads.Pixie3DGen(workloads.Pixie3DXL))
 	evalDef("fig6", "Figure 6: XGC1 IO Performance (38 MB/process)", workloads.XGC1Gen())
 	scenario.Register(scenario.Definition{
+		Name:        "jobmix-frontier",
+		Description: "Saturation frontier: heterogeneous job mix, static vs adaptive, 1→N concurrent jobs",
+		Spec: func(mode string) (scenario.Scenario, error) {
+			opt, err := JobMixPreset(mode)
+			if err != nil {
+				return scenario.Scenario{}, err
+			}
+			return JobMixScenario(opt), nil
+		},
+		Render: renderJobMix,
+	})
+	scenario.Register(scenario.Definition{
 		Name:        "metadata",
 		Description: "Metadata open-storm study (future-work extension)",
 		Spec: func(mode string) (scenario.Scenario, error) {
@@ -157,6 +169,17 @@ func renderTableI(res *scenario.Result, _ scenario.RunOptions) ([]scenario.Artif
 		{Name: "table1.txt", Text: b.String()},
 		{Name: "fig2.txt", Text: h.String()},
 	}, summary, nil
+}
+
+func renderJobMix(res *scenario.Result, _ scenario.RunOptions) ([]scenario.Artifact, []string, error) {
+	r, err := jobMixDemux(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := JobMixTable(r)
+	text := r.Figure.Render() + "\n" + tbl.Render()
+	return []scenario.Artifact{{Name: "jobmix.txt", Text: text}},
+		[]string{JobMixLine(r)}, nil
 }
 
 func renderEval(res *scenario.Result, name, title string) ([]scenario.Artifact, []string, error) {

@@ -35,6 +35,12 @@ type Options struct {
 	// (default 5µs — interconnect-scale, negligible against IO times but
 	// enough to keep causality realistic).
 	Latency time.Duration
+	// Job tags every process the world launches with a job attribution id
+	// (simkernel.Proc.Job). 0 leaves processes unattributed — the
+	// single-application behaviour. Co-scheduled job mixes give each
+	// application world its own id so the file system can attribute
+	// per-job traffic.
+	Job int
 }
 
 // World is a communicator: a fixed-size set of ranks sharing a kernel.
@@ -42,6 +48,7 @@ type World struct {
 	k       *simkernel.Kernel
 	size    int
 	latency simkernel.Time
+	job     int
 	ranks   []*Rank
 
 	barrierGen     int
@@ -61,7 +68,7 @@ func NewWorld(k *simkernel.Kernel, size int, opt Options) *World {
 	if lat == 0 {
 		lat = 5 * time.Microsecond
 	}
-	w := &World{k: k, size: size, latency: simkernel.Time(lat)}
+	w := &World{k: k, size: size, latency: simkernel.Time(lat), job: opt.Job}
 	w.ranks = make([]*Rank, size)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{w: w, rank: i}
@@ -75,6 +82,9 @@ func (w *World) Size() int { return w.size }
 // Kernel returns the underlying simulation kernel.
 func (w *World) Kernel() *simkernel.Kernel { return w.k }
 
+// Job returns the world's job attribution id (0 = unattributed).
+func (w *World) Job() int { return w.job }
+
 // Launch spawns one simulation process per rank running fn. It returns a
 // WaitGroup that reaches zero when every rank's fn has returned; run the
 // kernel to drive them.
@@ -83,7 +93,7 @@ func (w *World) Launch(name string, fn func(r *Rank)) *simkernel.WaitGroup {
 	wg.Add(w.size)
 	for i := 0; i < w.size; i++ {
 		r := w.ranks[i]
-		w.k.Spawn(fmt.Sprintf("%s[%d]", name, i), func(p *simkernel.Proc) {
+		w.k.SpawnJob(fmt.Sprintf("%s[%d]", name, i), w.job, func(p *simkernel.Proc) {
 			defer wg.Done()
 			r.p = p
 			fn(r)

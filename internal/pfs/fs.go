@@ -46,6 +46,9 @@ type FileSystem struct {
 	rng     *rngx.Source
 	files   map[string]*File
 	nextOST int
+	// jobs names the registered jobs for per-job traffic attribution
+	// (ids are index+1; 0 is the unattributed bucket); see jobacct.go.
+	jobs []string
 }
 
 // New constructs a file system on kernel k. cfg is validated and defaulted.
@@ -98,6 +101,7 @@ func (fs *FileSystem) Reset(cfg Config) error {
 	fs.MDS.reset(&fs.Cfg, fs.rng.Int63())
 	clear(fs.files)
 	fs.nextOST = 0
+	fs.jobs = fs.jobs[:0]
 	return nil
 }
 
@@ -346,6 +350,7 @@ func (f *File) ReadAt(p *simkernel.Proc, offset, length int64) {
 	}
 	for _, c := range f.chunksFor(offset, length) {
 		o := f.fs.OSTs[c.ost]
+		o.accountRead(p.Job(), float64(c.bytes))
 		streams := o.ActiveFlows() + o.ExternalStreams() + 1
 		rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() / float64(streams)
 		if cap := f.fs.Cfg.ClientCap; rate > cap {

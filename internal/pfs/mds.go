@@ -18,12 +18,15 @@ type MDSStats struct {
 // here it matters because file open/create storms from tens of thousands of
 // writers queue behind it, which the stagger-open technique mitigates.
 type MDS struct {
-	k     *simkernel.Kernel //repro:reset-skip immutable wiring to the owning kernel
-	res   *simkernel.Resource
-	src   *rngx.Source
-	mean  float64
-	cv    float64
-	Stats MDSStats
+	k    *simkernel.Kernel //repro:reset-skip immutable wiring to the owning kernel
+	res  *simkernel.Resource
+	src  *rngx.Source
+	mean float64
+	cv   float64
+	// jobOps counts metadata operations per job id (index 0 =
+	// unattributed); see jobacct.go.
+	jobOps []int
+	Stats  MDSStats
 }
 
 func newMDS(k *simkernel.Kernel, cfg *Config, src *rngx.Source) *MDS {
@@ -44,12 +47,17 @@ func (m *MDS) reset(cfg *Config, seed int64) {
 	m.src.ReseedNamed(seed, "mds")
 	m.mean = cfg.MDSServiceMean
 	m.cv = cfg.MDSServiceCV
+	for i := range m.jobOps {
+		m.jobOps[i] = 0
+	}
+	m.jobOps = m.jobOps[:0]
 	m.Stats = MDSStats{}
 }
 
 // Op performs one metadata operation (open, create, stat, close) on behalf
 // of process p, blocking for queueing plus service time.
 func (m *MDS) Op(p *simkernel.Proc) {
+	m.accountOp(p.Job())
 	m.res.Acquire(p)
 	svc := m.src.LognormalMeanCV(m.mean, m.cv)
 	m.Stats.OpsServed++

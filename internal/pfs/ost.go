@@ -81,6 +81,10 @@ type OST struct {
 	rateScratch  []float64 //repro:reset-skip scratch, fully overwritten by each water-fill
 	unsatScratch []int     //repro:reset-skip scratch, fully overwritten by each water-fill
 
+	// jobAcct attributes traffic per job id (index 0 = unattributed); see
+	// jobacct.go.
+	jobAcct []JobIO
+
 	Stats OSTStats
 }
 
@@ -123,6 +127,10 @@ func (o *OST) reset() {
 	o.planValid = false
 	o.planCacheFull = false
 	o.planInflow = 0
+	for i := range o.jobAcct {
+		o.jobAcct[i] = JobIO{}
+	}
+	o.jobAcct = o.jobAcct[:0]
 	o.Stats = OSTStats{}
 }
 
@@ -239,6 +247,7 @@ func (o *OST) Write(p *simkernel.Proc, bytes float64) {
 	if bytes <= 0 {
 		return
 	}
+	o.accountWrite(p.Job(), bytes)
 	wake := p.Waker()
 	o.StartWrite(bytes, 0, wake)
 	p.Suspend()

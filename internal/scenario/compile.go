@@ -79,12 +79,19 @@ func (s *Scenario) Validate() error {
 	if s.seedLabel() == "" {
 		return fmt.Errorf("scenario: needs a name (or seed_label)")
 	}
-	switch s.Workload.Kind {
+	switch s.workloadKind() {
 	case KindApp, KindIOR, KindPairedIOR, KindOpenStorm:
+		if len(s.Jobs) > 0 {
+			return fmt.Errorf("scenario %s: jobs array requires workload kind %q (or no kind), not %q", s.seedLabel(), KindJobMix, s.Workload.Kind)
+		}
+	case KindJobMix:
+		if len(s.Jobs) == 0 {
+			return fmt.Errorf("scenario %s: workload kind %q needs a jobs array", s.seedLabel(), KindJobMix)
+		}
 	case "":
-		return fmt.Errorf("scenario %s: workload kind required (app | ior | paired-ior | openstorm)", s.seedLabel())
+		return fmt.Errorf("scenario %s: workload kind required (app | ior | paired-ior | openstorm | jobmix)", s.seedLabel())
 	default:
-		return fmt.Errorf("scenario %s: unknown workload kind %q (want app | ior | paired-ior | openstorm)", s.seedLabel(), s.Workload.Kind)
+		return fmt.Errorf("scenario %s: unknown workload kind %q (want app | ior | paired-ior | openstorm | jobmix)", s.seedLabel(), s.Workload.Kind)
 	}
 	if _, err := s.Workload.staggerDuration(); err != nil {
 		return err
@@ -162,7 +169,26 @@ type replicaCfg struct {
 	method    string
 	transport Transport
 
+	// jobmix knobs: the resolved concurrent jobs and the canonical
+	// world-shape key that partitions the reuse pool.
+	jobs  []jobCfg
+	shape string
+
 	condition string
+}
+
+// jobCfg is one resolved job of a job mix.
+type jobCfg struct {
+	name      string
+	kind      string
+	generator string
+	procs     int
+	bytes     float64 // per-rank per-phase volume (mlread read size, mdtest file size)
+	files     int     // mdtest creates per rank per phase
+	transport Transport
+	start     float64
+	period    float64
+	phases    int
 }
 
 // resolve merges the spec's base fields with one point's parameter
@@ -172,7 +198,7 @@ type replicaCfg struct {
 // "stagger" (ns).
 func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 	c := replicaCfg{
-		kind:      p.Str("kind", s.Workload.Kind),
+		kind:      p.Str("kind", s.workloadKind()),
 		machine:   p.Str("machine", s.Machine),
 		numOSTs:   p.Int("osts", s.NumOSTs),
 		noise:     p.Bool("noise", !s.NoNoise),
@@ -239,12 +265,8 @@ func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 			if c.generator == "" {
 				return c, fmt.Errorf("app workload needs a generator")
 			}
-			if _, ok := workloads.ByName(c.generator); !ok {
-				var have []string
-				for _, g := range workloads.All() {
-					have = append(have, g.Name)
-				}
-				return c, fmt.Errorf("unknown workload generator %q (have %v)", c.generator, have)
+			if _, err := workloads.ByName(c.generator); err != nil {
+				return c, err
 			}
 		}
 	case KindIOR, KindPairedIOR, KindOpenStorm:
@@ -254,10 +276,135 @@ func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 		if c.bytes < 0 {
 			return c, fmt.Errorf("negative per-writer size")
 		}
+	case KindJobMix:
+		if err := s.resolveJobs(&c, p); err != nil {
+			return c, err
+		}
 	default:
 		return c, fmt.Errorf("unknown workload kind %q", c.kind)
 	}
 	return c, nil
+}
+
+// workloadKind resolves the spec's workload kind, defaulting to jobmix when
+// a jobs array is declared without an explicit kind.
+func (s *Scenario) workloadKind() string {
+	if s.Workload.Kind == "" && len(s.Jobs) > 0 {
+		return KindJobMix
+	}
+	return s.Workload.Kind
+}
+
+// resolveJobs expands the spec's job templates for one grid point. Two axes
+// are job-mix specific: "njobs" cycles the template list to N concurrent
+// jobs (replicated jobs get a "#k" name suffix), and "method" overrides
+// every app job's transport method — the static-vs-adaptive sweep knob.
+func (s *Scenario) resolveJobs(c *replicaCfg, p Params) error {
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("jobmix workload needs a jobs array")
+	}
+	n := p.Int("njobs", len(s.Jobs))
+	if n <= 0 {
+		return fmt.Errorf("njobs must be positive")
+	}
+	c.jobs = make([]jobCfg, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		js := s.Jobs[i%len(s.Jobs)]
+		jc := jobCfg{
+			name:      js.Name,
+			kind:      js.Kind,
+			generator: js.Generator,
+			procs:     js.Procs,
+			files:     js.FilesPerRank,
+			transport: js.Transport,
+			start:     js.StartSeconds,
+			period:    js.PeriodSeconds,
+			phases:    js.Phases,
+		}
+		if jc.name == "" {
+			jc.name = fmt.Sprintf("job%d", i%len(s.Jobs))
+		}
+		if rep := i / len(s.Jobs); rep > 0 {
+			jc.name = fmt.Sprintf("%s#%d", jc.name, rep+1)
+		}
+		if seen[jc.name] {
+			return fmt.Errorf("duplicate job name %q in mix", jc.name)
+		}
+		seen[jc.name] = true
+		if jc.phases <= 0 {
+			jc.phases = 1
+		}
+		if jc.procs <= 0 {
+			return fmt.Errorf("job %q needs a positive process count", jc.name)
+		}
+		if jc.start < 0 || jc.period < 0 {
+			return fmt.Errorf("job %q has negative phase timing", jc.name)
+		}
+		jc.bytes = js.Bytes
+		if jc.bytes == 0 {
+			jc.bytes = js.SizeMB * pfs.MB
+		}
+		if jc.transport.OSTs == 0 {
+			jc.transport.OSTs = c.transport.OSTs
+		}
+		switch js.Kind {
+		case JobKindApp:
+			if p.Has("method") || jc.transport.Method == "" {
+				jc.transport.Method = c.method
+			}
+			switch jc.transport.Method {
+			case "", "MPI", "POSIX", "ADAPTIVE", "STAGING":
+			default:
+				return fmt.Errorf("job %q: unknown transport method %q (want MPI | POSIX | ADAPTIVE | STAGING)", jc.name, jc.transport.Method)
+			}
+			if jc.generator == "" {
+				return fmt.Errorf("job %q: app job needs a generator", jc.name)
+			}
+			if _, err := workloads.ByName(jc.generator); err != nil {
+				return fmt.Errorf("job %q: %w", jc.name, err)
+			}
+		case JobKindMLRead:
+			if jc.generator == "" {
+				jc.generator = "mltrain"
+			}
+			gen, err := workloads.ByName(jc.generator)
+			if err != nil {
+				return fmt.Errorf("job %q: %w", jc.name, err)
+			}
+			if jc.bytes == 0 {
+				jc.bytes = float64(gen.BytesPerProcess)
+			}
+		case JobKindMDTest:
+			if jc.files <= 0 {
+				jc.files = 16
+			}
+			if jc.bytes == 0 {
+				jc.bytes = workloads.MDTestBytesPerFile
+			}
+		default:
+			return fmt.Errorf("job %q: unknown job kind %q (want app | mlread | mdtest)", jc.name, js.Kind)
+		}
+		c.jobs = append(c.jobs, jc)
+	}
+	c.shape = jobShape(c.jobs)
+	return nil
+}
+
+// jobShape builds the canonical world-shape key (cluster.Config.WorldShape)
+// for a resolved mix: one fragment per job in spec order, so two mixes share
+// a reuse-pool bucket only when their application structure is identical.
+func jobShape(jobs []jobCfg) string {
+	var b strings.Builder
+	b.WriteString("mix[")
+	for i, j := range jobs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%s:%d:%d", j.kind, j.name, j.procs, j.phases)
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // ApplySet applies one -set key=value override to the spec: axis names

@@ -33,6 +33,31 @@ type Sample struct {
 	AdaptiveWrites int
 	// QueuePeak is the metadata server's queue high-water mark (openstorm).
 	QueuePeak int
+	// Jobs are the per-job measurements of a job-mix replica, in spec
+	// order (nil for the single-workload kinds).
+	Jobs []JobSample
+}
+
+// JobSample is one job's measurement within a job-mix replica, attributed
+// through the file system's per-job accounting.
+type JobSample struct {
+	// Name and Kind identify the job (JobSpec.Name, JobSpec.Kind).
+	Name string
+	Kind string
+	// Ranks is the job's process count.
+	Ranks int
+	// Start is the job's first phase start in simulated seconds.
+	Start float64
+	// Elapsed is when the job's last phase completed (seconds from t=0).
+	Elapsed float64
+	// BytesWritten / BytesRead are the job's attributed data volumes.
+	BytesWritten float64
+	BytesRead    float64
+	// MetaOps is the job's attributed metadata operation count.
+	MetaOps int
+	// BW is the job's achieved bandwidth: (written+read) over its active
+	// span (Elapsed - Start).
+	BW float64
 }
 
 // MeanPerWriterBW returns the average per-writer bandwidth.
@@ -183,6 +208,8 @@ func (s *Scenario) execReplica(cfg replicaCfg, seed int64, pool *cluster.Pool, t
 		return s.execPairedIOR(cfg, seed, pool, tc)
 	case KindOpenStorm:
 		return s.execOpenStorm(cfg, seed, pool, tc)
+	case KindJobMix:
+		return s.execJobMix(cfg, seed, pool, tc)
 	}
 	return Sample{}, fmt.Errorf("scenario: unknown workload kind %q", cfg.kind)
 }
@@ -369,6 +396,162 @@ func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, pool *cluster.Pool,
 	return Sample{Elapsed: last.Seconds(), QueuePeak: fs.MDS.Stats.MaxQueue}, nil
 }
 
+// execJobMix co-schedules the point's resolved jobs onto one shared file
+// system: every job is its own application world (own barriers, own job id
+// in the per-job traffic accounting), launched at t=0 and pacing its I/O
+// phases by its own start/period clock. The kernel stops when every job's
+// last phase completes; per-job measurements come from the file system's
+// attribution counters plus each job's observed completion time.
+func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *traceCapture) (Sample, error) {
+	c, err := pool.Rent(cfg.machine, cluster.Config{
+		Seed:            seed,
+		NumOSTs:         cfg.numOSTs,
+		ProductionNoise: cfg.noise,
+		WorldShape:      cfg.shape,
+	})
+	if err != nil {
+		return Sample{}, err
+	}
+	defer pool.Return(c)
+	defer tc.finish()
+	if err := s.applyInterference(c, cfg); err != nil {
+		return Sample{}, err
+	}
+	tc.attach(c)
+
+	fs := c.FileSystem()
+	k := c.Kernel()
+	numOSTs := len(fs.OSTs)
+
+	type jobRun struct {
+		id  int
+		end simkernel.Time
+		err error
+	}
+	runs := make([]*jobRun, len(cfg.jobs))
+	all := simkernel.NewWaitGroup(k)
+	all.Add(len(cfg.jobs))
+
+	for ji := range cfg.jobs {
+		jc := cfg.jobs[ji]
+		run := &jobRun{id: fs.RegisterJob(jc.name)}
+		runs[ji] = run
+		w := c.NewJobWorld(jc.name, run.id, jc.procs)
+
+		var body func(r *cluster.Rank)
+		switch jc.kind {
+		case JobKindApp:
+			perRank, err := generatorFor(jc.generator)
+			if err != nil {
+				return Sample{}, err
+			}
+			io, err := adios.NewIO(c, w, jc.transport.adiosOptions())
+			if err != nil {
+				return Sample{}, err
+			}
+			body = func(r *cluster.Rank) {
+				for ph := 0; ph < jc.phases; ph++ {
+					r.Proc().SleepUntil(simkernel.FromSeconds(jc.start + float64(ph)*jc.period))
+					f := io.Open(r, fmt.Sprintf("%s.ph%03d.bp", jc.name, ph))
+					f.WriteData(perRank(r.Rank()))
+					if _, err := f.Close(); err != nil && run.err == nil {
+						run.err = err
+						return
+					}
+				}
+			}
+		case JobKindMLRead:
+			body = func(r *cluster.Rank) {
+				p := r.Proc()
+				// The dataset shard pre-exists the training run; its
+				// create is the job's only metadata cost.
+				shard, err := fs.Create(p, fmt.Sprintf("%s.shard.%05d", jc.name, r.Rank()),
+					pfs.Layout{OSTs: []int{r.Rank() % numOSTs}})
+				if err != nil {
+					if run.err == nil {
+						run.err = err
+					}
+					return
+				}
+				for ph := 0; ph < jc.phases; ph++ {
+					p.SleepUntil(simkernel.FromSeconds(jc.start + float64(ph)*jc.period))
+					shard.ReadAt(p, 0, int64(jc.bytes))
+				}
+				shard.Close(p)
+			}
+		case JobKindMDTest:
+			body = func(r *cluster.Rank) {
+				p := r.Proc()
+				for ph := 0; ph < jc.phases; ph++ {
+					p.SleepUntil(simkernel.FromSeconds(jc.start + float64(ph)*jc.period))
+					for fi := 0; fi < jc.files; fi++ {
+						f, err := fs.Create(p, fmt.Sprintf("%s.r%05d.ph%03d.f%04d", jc.name, r.Rank(), ph, fi),
+							pfs.Layout{OSTs: []int{(r.Rank() + fi) % numOSTs}})
+						if err != nil {
+							if run.err == nil {
+								run.err = err
+							}
+							return
+						}
+						f.WriteAt(p, 0, int64(jc.bytes))
+						f.Close(p)
+					}
+				}
+			}
+		default:
+			return Sample{}, fmt.Errorf("scenario: unknown job kind %q", jc.kind)
+		}
+
+		wgJob := w.MPI().Launch(jc.name, body)
+		k.Spawn("jobmix-watch", func(p *simkernel.Proc) {
+			wgJob.Wait(p)
+			run.end = p.Now()
+			all.Done()
+		})
+	}
+
+	// Noise and interference processes run forever, so join explicitly on
+	// the jobs rather than draining the kernel.
+	k.Spawn("jobmix-joiner", func(p *simkernel.Proc) {
+		all.Wait(p)
+		k.Stop()
+	})
+	k.Run()
+
+	out := Sample{Jobs: make([]JobSample, 0, len(cfg.jobs))}
+	var makespan float64
+	for ji, run := range runs {
+		if run.err != nil {
+			return Sample{}, run.err
+		}
+		jc := cfg.jobs[ji]
+		acct := fs.JobIO(run.id)
+		js := JobSample{
+			Name:         jc.name,
+			Kind:         jc.kind,
+			Ranks:        jc.procs,
+			Start:        jc.start,
+			Elapsed:      run.end.Seconds(),
+			BytesWritten: acct.BytesWritten,
+			BytesRead:    acct.BytesRead,
+			MetaOps:      acct.MetaOps,
+		}
+		if span := js.Elapsed - js.Start; span > 0 {
+			js.BW = (js.BytesWritten + js.BytesRead) / span
+		}
+		out.TotalBytes += js.BytesWritten + js.BytesRead
+		if js.Elapsed > makespan {
+			makespan = js.Elapsed
+		}
+		out.Jobs = append(out.Jobs, js)
+	}
+	out.Elapsed = makespan
+	if makespan > 0 {
+		out.AggregateBW = out.TotalBytes / makespan
+	}
+	return out, nil
+}
+
 // applyInterference stages the scenario's disturbance model on a fresh
 // cluster: deterministic slow targets plus, when the point's condition asks
 // for it, the artificial interference program.
@@ -417,9 +600,9 @@ func iorSample(r ior.Result) Sample {
 }
 
 func generatorFor(name string) (func(rank int) iomethod.RankData, error) {
-	gen, ok := workloads.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown workload generator %q", name)
+	gen, err := workloads.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	return gen.PerRank, nil
 }

@@ -54,16 +54,22 @@ type TraceResult struct {
 	Samples []trace.Sample
 	// Activity / Slowness are per-target heatmaps; Throughput is the
 	// aggregate disk-throughput timeline (rendered while the replica's
-	// file system was live).
+	// file system was live). Jobs is the per-job traffic timeline, empty
+	// unless the replica co-scheduled registered jobs.
 	Activity   string
 	Slowness   string
 	Throughput string
+	Jobs       string
 }
 
-// Render concatenates the trace's three renderings.
+// Render concatenates the trace's renderings.
 func (t *TraceResult) Render() string {
-	return fmt.Sprintf("Trace of replica %v (%d samples)\n\nActivity (flows per target):\n%s\nSlowness (service degradation):\n%s\nAggregate throughput:\n%s",
+	out := fmt.Sprintf("Trace of replica %v (%d samples)\n\nActivity (flows per target):\n%s\nSlowness (service degradation):\n%s\nAggregate throughput:\n%s",
 		t.Key, len(t.Samples), t.Activity, t.Slowness, t.Throughput)
+	if t.Jobs != "" {
+		out += "\nPer-job traffic:\n" + t.Jobs
+	}
+	return out
 }
 
 // Result is a scenario run's full outcome: one PointResult per grid point
@@ -113,6 +119,7 @@ func (t *traceCapture) finish() {
 		Activity:   t.tracer.RenderActivity(72),
 		Slowness:   t.tracer.RenderSlowness(72),
 		Throughput: t.tracer.RenderThroughput(50),
+		Jobs:       t.tracer.RenderJobs(72),
 	}
 }
 

@@ -42,6 +42,24 @@ const (
 	// KindOpenStorm has N ranks create one file each against the metadata
 	// server (the metadata-variability shape).
 	KindOpenStorm = "openstorm"
+	// KindJobMix co-schedules the spec's Jobs array — N concurrent
+	// applications with distinct I/O signatures — onto one shared file
+	// system, with per-job phase timing and per-job traffic attribution.
+	KindJobMix = "jobmix"
+)
+
+// Job kinds a job-mix entry can have.
+const (
+	// JobKindApp is a checkpoint-heavy writer application running its
+	// output steps through the adios middleware (same shape as KindApp,
+	// but phased and co-scheduled).
+	JobKindApp = "app"
+	// JobKindMLRead is an ML-training read job: each rank re-reads its
+	// dataset shard every phase (epoch).
+	JobKindMLRead = "mlread"
+	// JobKindMDTest is an mdtest-style metadata job: each rank creates,
+	// writes and closes many small files per phase.
+	JobKindMDTest = "mdtest"
 )
 
 // Conditions of the Section IV environments.
@@ -81,6 +99,12 @@ type Scenario struct {
 	Workload     Workload     `json:"workload"`
 	Transport    Transport    `json:"transport,omitempty"`
 	Interference Interference `json:"interference,omitempty"`
+
+	// Jobs declares a co-scheduled job mix (workload kind "jobmix", which
+	// is implied when this is non-empty). Each entry is one concurrent
+	// application; the single-workload form above is the 1-job degenerate
+	// case and keeps its own executors.
+	Jobs []JobSpec `json:"jobs,omitempty"`
 
 	// Axes are the sweep dimensions; the grid is their cross product in
 	// order (first axis outermost). Each axis binds one named parameter
@@ -127,6 +151,41 @@ type Workload struct {
 	// Stagger spaces KindOpenStorm creates (a Go duration string such as
 	// "5ms"; axis "stagger" overrides with nanoseconds).
 	Stagger string `json:"stagger,omitempty"`
+}
+
+// JobSpec is one application of a co-scheduled job mix.
+type JobSpec struct {
+	// Name identifies the job in results and per-job attribution
+	// (default "job<i>"). Names must be unique within the mix.
+	Name string `json:"name,omitempty"`
+	// Kind is JobKindApp, JobKindMLRead or JobKindMDTest.
+	Kind string `json:"kind"`
+	// Generator names the workload signature: required for app jobs
+	// ("pixie3d-small", "gtc", ...), defaulted for mlread ("mltrain").
+	Generator string `json:"generator,omitempty"`
+	// Procs is the job's rank count.
+	Procs int `json:"procs"`
+	// SizeMB overrides the per-rank per-phase data volume in MB (mlread:
+	// bytes read per epoch; mdtest: bytes per created file).
+	SizeMB float64 `json:"size_mb,omitempty"`
+	// Bytes is the exact per-rank per-phase byte count; it takes
+	// precedence over SizeMB when non-zero.
+	Bytes float64 `json:"bytes,omitempty"`
+	// FilesPerRank is the mdtest job's create count per rank per phase
+	// (default 16).
+	FilesPerRank int `json:"files_per_rank,omitempty"`
+	// Transport configures the app job's adios middleware. An empty
+	// method inherits the scenario's transport (and the "method" axis
+	// overrides both).
+	Transport Transport `json:"transport,omitempty"`
+	// StartSeconds delays the job's first phase.
+	StartSeconds float64 `json:"start_seconds,omitempty"`
+	// PeriodSeconds is the phase cadence: phase p begins no earlier than
+	// StartSeconds + p×PeriodSeconds (an overrunning phase starts the
+	// next one immediately, back-to-back).
+	PeriodSeconds float64 `json:"period_seconds,omitempty"`
+	// Phases is the number of I/O phases the job performs (default 1).
+	Phases int `json:"phases,omitempty"`
 }
 
 // Transport configures the adios middleware for KindApp replicas.

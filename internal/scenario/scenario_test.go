@@ -145,7 +145,7 @@ func TestValidationErrors(t *testing.T) {
 		{"unknown machine", func(s *Scenario) { s.Machine = "summit" }, "unknown machine"},
 		{"unknown generator", func(s *Scenario) {
 			s.Workload = Workload{Kind: KindApp, Procs: 2, Generator: "hpl"}
-		}, "unknown workload generator"},
+		}, "unknown generator"},
 		{"no writers", func(s *Scenario) { s.Workload.Writers = 0 }, "positive writers"},
 		{"no name", func(s *Scenario) { s.Name = "" }, "needs a name"},
 		{"empty axis", func(s *Scenario) {

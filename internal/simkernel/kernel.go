@@ -434,6 +434,7 @@ type Proc struct {
 	k      *Kernel
 	id     int
 	name   string
+	job    int // job attribution tag (0 = unattributed); see SpawnJob
 	wake   chan wakeKind
 	state  procState
 	waker  func()        // lazily built, reused by every Waker call
@@ -494,6 +495,7 @@ func (k *Kernel) newProc(name string, fn func(p *Proc)) *Proc {
 		k.idle = k.idle[:n-1]
 		p.id = k.nextProcID
 		p.name = name
+		p.job = 0
 		p.body = fn
 		p.state = procReady
 		k.procs = append(k.procs, p)
@@ -529,6 +531,18 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	}
 	p := k.newProc(name, fn)
 	k.scheduleProc(at, p)
+	return p
+}
+
+// SpawnJob is Spawn with a job attribution tag: every storage operation the
+// process performs is accounted to job by layers that inspect Proc.Job (the
+// file system's per-job traffic counters). Job 0 means unattributed — plain
+// Spawn leaves the tag at 0, and recycled goroutines always have it cleared,
+// so attribution never leaks across bodies.
+func (k *Kernel) SpawnJob(name string, job int, fn func(p *Proc)) *Proc {
+	p := k.newProc(name, fn)
+	p.job = job
+	k.scheduleProc(k.now, p)
 	return p
 }
 
@@ -569,6 +583,11 @@ func (p *Proc) Name() string { return p.name }
 
 // ID returns the process's unique id within its kernel.
 func (p *Proc) ID() int { return p.id }
+
+// Job returns the process's job attribution tag (0 = unattributed).
+//
+//repro:hotpath
+func (p *Proc) Job() int { return p.job }
 
 // Done reports whether the process has terminated (from kernel context this
 // is safe to call at any time).

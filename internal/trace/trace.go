@@ -27,6 +27,9 @@ type Sample struct {
 	Ext []int
 	// Drained is the cumulative bytes on disk across all targets.
 	Drained float64
+	// Jobs is the cumulative attributed traffic per job id (index 0 is the
+	// unattributed bucket); empty when no jobs are registered.
+	Jobs []pfs.JobIO
 }
 
 // Tracer periodically samples a file system.
@@ -71,6 +74,12 @@ func (t *Tracer) take(now simkernel.Time) {
 		s.Ext[i] = o.ExternalStreams()
 	}
 	s.Drained = t.fs.TotalBytesDrained()
+	if n := t.fs.JobCount(); n > 0 {
+		s.Jobs = make([]pfs.JobIO, n+1)
+		for j := range s.Jobs {
+			s.Jobs[j] = t.fs.JobIO(j)
+		}
+	}
 	t.samples = append(t.samples, s)
 }
 
@@ -157,6 +166,59 @@ func (t *Tracer) RenderSlowness(width int) string {
 			b.WriteByte(glyphFor(degr))
 		}
 		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// jobTraffic returns the cumulative attributed bytes (written + read) of
+// job j at sample i, tolerating samples taken before the job registered.
+func (t *Tracer) jobTraffic(i, j int) float64 {
+	s := t.samples[i]
+	if j >= len(s.Jobs) {
+		return 0
+	}
+	return s.Jobs[j].BytesWritten + s.Jobs[j].BytesRead
+}
+
+// RenderJobs draws one bandwidth timeline per registered job (glyph
+// intensity = the job's traffic between consecutive samples, normalised to
+// the busiest interval of any job), making co-scheduled phase patterns and
+// contention visible. Returns "" when the trace saw no registered jobs.
+func (t *Tracer) RenderJobs(width int) string {
+	njobs := t.fs.JobCount()
+	if njobs == 0 || len(t.samples) < 2 {
+		return ""
+	}
+	if width <= 0 {
+		width = 72
+	}
+	cols := len(t.samples) - 1
+	if cols > width {
+		cols = width
+	}
+	max := 0.0
+	for j := 1; j <= njobs; j++ {
+		for i := 1; i < len(t.samples); i++ {
+			if d := t.jobTraffic(i, j) - t.jobTraffic(i-1, j); d > max {
+				max = d
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	b.WriteString("per-job traffic over time (row = job, darker = closer to the busiest interval)\n")
+	for j := 1; j <= njobs; j++ {
+		fmt.Fprintf(&b, "%-12s |", t.fs.JobName(j))
+		for c := 0; c < cols; c++ {
+			// Map the column to a sample interval, mirroring the heatmaps.
+			idx := c*(len(t.samples)-1)/cols + 1
+			d := t.jobTraffic(idx, j) - t.jobTraffic(idx-1, j)
+			b.WriteByte(glyphFor(d / max))
+		}
+		last := len(t.samples) - 1
+		fmt.Fprintf(&b, "| %8.1f MB\n", t.jobTraffic(last, j)/pfs.MB)
 	}
 	return b.String()
 }

@@ -19,6 +19,8 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/iomethod"
 )
@@ -310,6 +312,74 @@ func ChimeraGen() Generator {
 	}
 }
 
+// MLTrain returns one training epoch's read signature for an ML job: each
+// rank streams its shard of the dataset — sample tensors dominating, a thin
+// label array alongside. The paper's workloads are checkpoint writers; this
+// generator supplies the read-heavy counterpart that co-scheduled job mixes
+// need (training jobs re-reading a shared dataset every epoch).
+func MLTrain(rank int, bytesPerProcess int64) iomethod.RankData {
+	names := []string{"samples", "labels"}
+	fracs := []float64{0.95, 0.05}
+	var vars []iomethod.VarSpec
+	var used int64
+	for i, name := range names {
+		b := int64(float64(bytesPerProcess) * fracs[i])
+		if i == len(names)-1 {
+			b = bytesPerProcess - used
+		}
+		used += b
+		center := pseudoValue(rank, i+41)
+		vars = append(vars, iomethod.VarSpec{
+			Name:  name,
+			Bytes: b,
+			Dims:  []uint64{uint64(b / 8)},
+			Min:   center - 1,
+			Max:   center + 1,
+		})
+	}
+	return iomethod.RankData{Vars: vars}
+}
+
+// MLTrainGen returns the ML-training Generator (64 MB of dataset shard per
+// process per epoch — ImageNet-scale shards across a few hundred readers).
+func MLTrainGen() Generator {
+	const size = 64 * 1024 * 1024
+	return Generator{
+		Name:            "mltrain",
+		PerRank:         func(rank int) iomethod.RankData { return MLTrain(rank, size) },
+		BytesPerProcess: size,
+	}
+}
+
+// MDTestBytesPerFile is the per-file payload of the metadata workload: 4 KiB,
+// mdtest's classic small-file size where create/open/close cost dominates
+// data movement.
+const MDTestBytesPerFile = 4 * 1024
+
+// MDTest returns the per-file payload signature of an mdtest-style
+// metadata-heavy job: one tiny entry per created file. The interesting cost
+// is the metadata operations themselves; the job executor multiplies this by
+// its files-per-rank count.
+func MDTest(rank int) iomethod.RankData {
+	center := pseudoValue(rank, 53)
+	return iomethod.RankData{Vars: []iomethod.VarSpec{{
+		Name:  "entry",
+		Bytes: MDTestBytesPerFile,
+		Dims:  []uint64{MDTestBytesPerFile / 8},
+		Min:   center,
+		Max:   center + 1,
+	}}}
+}
+
+// MDTestGen returns the mdtest-style metadata Generator.
+func MDTestGen() Generator {
+	return Generator{
+		Name:            "mdtest",
+		PerRank:         MDTest,
+		BytesPerProcess: MDTestBytesPerFile,
+	}
+}
+
 // All returns every workload generator at its representative size, for
 // sweep-style harnesses.
 func All() []Generator {
@@ -322,19 +392,36 @@ func All() []Generator {
 		GTSGen(),
 		ChimeraGen(),
 		S3DGen(38 * 1024 * 1024),
+		MLTrainGen(),
+		MDTestGen(),
 	}
 }
 
+// Names returns every generator name, sorted, for error messages and
+// discovery surfaces.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, g := range all {
+		names[i] = g.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ByName looks a generator up by its All() name; "pixie3d-xl" is accepted
-// as a spelling of the space-containing "pixie3d-extra large".
-func ByName(name string) (Generator, bool) {
+// as a spelling of the space-containing "pixie3d-extra large". Unknown names
+// return an error listing the available generators (sorted), so spec
+// validation messages tell the user what would have worked.
+func ByName(name string) (Generator, error) {
 	if name == "pixie3d-xl" {
 		name = "pixie3d-extra large"
 	}
 	for _, g := range All() {
 		if g.Name == name {
-			return g, true
+			return g, nil
 		}
 	}
-	return Generator{}, false
+	return Generator{}, fmt.Errorf("workloads: unknown generator %q (available: %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -131,8 +131,8 @@ func TestGeneratorNamesDistinct(t *testing.T) {
 		}
 		seen[g.Name] = true
 	}
-	if len(seen) != 8 {
-		t.Errorf("generators = %d, want 8", len(seen))
+	if len(seen) != 10 {
+		t.Errorf("generators = %d, want 10", len(seen))
 	}
 }
 
