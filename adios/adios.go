@@ -198,6 +198,13 @@ func (f *File) WriteData(data iomethod.RankData) {
 	if f.done {
 		panic(fmt.Sprintf("adios: WriteData after Close on step %q", f.name))
 	}
+	if len(f.data.Vars) == 0 {
+		// Alias the caller's specs instead of copying; the three-index
+		// slice caps the alias so any later Write reallocates rather than
+		// scribbling on the caller's backing array.
+		f.data.Vars = data.Vars[:len(data.Vars):len(data.Vars)]
+		return
+	}
 	f.data.Vars = append(f.data.Vars, data.Vars...)
 }
 

@@ -1,0 +1,62 @@
+package adios
+
+import (
+	"fmt"
+
+	"repro/internal/iomethod"
+	"repro/internal/simkernel"
+)
+
+// Continuation-engine support. A rank body running as a run-to-completion
+// state machine (cluster.World.LaunchCont) closes its output step through
+// CloseCont instead of the blocking Close; the transport drives the same
+// collective flow, so results and event schedules are identical to the
+// goroutine engine's.
+
+// ContCapable reports whether the configured transport can run a step on
+// the continuation engine (the MPI-IO and adaptive methods can; POSIX and
+// staging keep their goroutine bodies). Callers fall back to Launch/Close
+// when it is false.
+func (io *IO) ContCapable() bool {
+	_, ok := io.method.(iomethod.ContMethod)
+	return ok
+}
+
+// CloseCont is a collective close in flight: the continuation counterpart
+// of File.Close. The zero value is ready; one CloseCont may be reused
+// across sequential steps. Arm it with File.BeginCloseCont, drive it with
+// Step (advance style — move the machine's program counter past the close
+// before yielding), then read Result.
+type CloseCont struct {
+	sc iomethod.StepCont
+}
+
+// BeginCloseCont arms cc to perform this file's collective output. The
+// transport must be ContCapable; like Close, the file is consumed (a second
+// close of the same handle fails).
+func (f *File) BeginCloseCont(cc *CloseCont) {
+	if f.done {
+		panic(fmt.Sprintf("adios: double Close on step %q", f.name))
+	}
+	f.done = true
+	cm, ok := f.io.method.(iomethod.ContMethod)
+	if !ok {
+		panic("adios: BeginCloseCont on a transport without continuation support")
+	}
+	cc.sc = cm.BeginStepCont(f.rank, f.name, f.data)
+}
+
+// Step drives the collective close; see simkernel.Cont.
+//
+//repro:hotpath
+func (cc *CloseCont) Step(c *simkernel.ContProc) bool { return cc.sc.Step(c) }
+
+// Result returns what the equivalent Close call would have returned; valid
+// once Step has returned true.
+func (cc *CloseCont) Result() (*StepResult, error) {
+	res, err := cc.sc.Result()
+	if err != nil {
+		return nil, err
+	}
+	return &StepResult{StepResult: res}, nil
+}

@@ -23,13 +23,25 @@ import (
 //     the receiver nor declared in the function body — which can grow a
 //     caller's backing array mid-loop.
 //
+// Functions are audited when annotated //repro:hotpath, and also when any
+// parameter is a *simkernel.ContProc: continuation Step bodies run inline
+// on the kernel's event loop — the whole point of the run-to-completion
+// engine — so they are hot by construction and need no annotation. Test
+// files are exempt from the implicit rule (test cont machines exist to
+// exercise semantics, not to be fast); an explicit //repro:hotpath in a
+// test still audits as usual.
+//
 // Intentional occurrences (a once-cached closure, a cold error path) carry
 // //repro:allow hotpath <reason> on the offending line.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "keep //repro:hotpath functions free of allocation-prone constructs",
+	Doc:  "keep //repro:hotpath functions and continuation Step bodies free of allocation-prone constructs",
 	Run:  runHotPath,
 }
+
+// contProcPkg is the package whose ContProc parameter type marks a function
+// as an implicitly hot continuation body.
+const contProcPkg = "repro/internal/simkernel"
 
 // fmtAllocFuncs are the fmt functions that build a string (or write one)
 // through reflection-driven formatting.
@@ -40,15 +52,47 @@ var fmtAllocFuncs = map[string]bool{
 
 func runHotPath(pass *Pass) error {
 	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hasHotpathDirective(fn) {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hasHotpathDirective(fn) && (isTest || !hasContProcParam(pass, fn)) {
 				continue
 			}
 			checkHotFunc(pass, fn)
 		}
 	}
 	return nil
+}
+
+// hasContProcParam reports whether fn takes a *simkernel.ContProc — the
+// signature of continuation Step bodies and their helpers, which the kernel
+// resumes inline and which are therefore implicitly hot.
+func hasContProcParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "ContProc" && obj.Pkg() != nil && obj.Pkg().Path() == contProcPkg {
+			return true
+		}
+	}
+	return false
 }
 
 func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {

@@ -1,0 +1,26 @@
+package hot
+
+import "fmt"
+
+// Test files are exempt from the implicit ContProc rule: this machine would
+// trip every hotpath check, and none of it is reported.
+type testOnlyMachine struct {
+	pc int
+}
+
+func (m *testOnlyMachine) Step(c *ContProc) bool {
+	global = append(global, m.pc)
+	sink = m.pc
+	_ = fmt.Sprintf("step %d", m.pc)
+	f := func() int { return m.pc }
+	_ = f()
+	return true
+}
+
+// annotatedInTest keeps the explicit directive authoritative even in a test
+// file.
+//
+//repro:hotpath
+func annotatedInTest(weight int) {
+	consume(weight) // want `converting int to any boxes the value on the heap`
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -61,29 +62,135 @@ type LocalIndex struct {
 	Entries []VarEntry
 }
 
-// byNameRankOffset implements the canonical entry order on the concrete
-// slice type. sort.Sort and sort.Slice run the same algorithm, but the
-// interface form skips the reflection-based swapper, which showed up in
-// figure-scale profiles (entries are 64-byte records).
-type byNameRankOffset []VarEntry
-
-func (s byNameRankOffset) Len() int      { return len(s) }
-func (s byNameRankOffset) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s byNameRankOffset) Less(i, j int) bool {
-	a, b := &s[i], &s[j]
+// compareEntries is the canonical entry order: (Name, WriterRank, Offset).
+// The key triple is unique within any one index — a writer never emits two
+// blocks of the same variable at the same offset — so every correct sort
+// produces the same sequence and the algorithm is free to change.
+func compareEntries(a, b *VarEntry) int {
 	if a.Name != b.Name {
-		return a.Name < b.Name
+		if a.Name < b.Name {
+			return -1
+		}
+		return 1
 	}
 	if a.WriterRank != b.WriterRank {
-		return a.WriterRank < b.WriterRank
+		return int(a.WriterRank) - int(b.WriterRank)
 	}
-	return a.Offset < b.Offset
+	switch {
+	case a.Offset < b.Offset:
+		return -1
+	case a.Offset > b.Offset:
+		return 1
+	}
+	return 0
 }
 
 // Sort orders entries by (Name, WriterRank, Offset), the canonical order a
-// sub-coordinator establishes before writing the index.
+// sub-coordinator establishes before writing the index. The entries are
+// 64-byte records, so sorting moves indices and permutes once at the end
+// instead of swapping records throughout (figure-scale profiles: direct
+// sort.Sort and slices.SortFunc both lose to this on copy traffic).
 func (li *LocalIndex) Sort() {
-	sort.Sort(byNameRankOffset(li.Entries))
+	es := li.Entries
+	if len(es) < 2 {
+		return
+	}
+	idx := make([]int32, len(es))
+	if !li.bucketOrder(idx) {
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		slices.SortFunc(idx, func(a, b int32) int {
+			return compareEntries(&es[a], &es[b])
+		})
+	}
+	// Apply the permutation in place, one cycle at a time: es[i] must end
+	// up holding the record that started at es[idx[i]].
+	for i := range idx {
+		if idx[i] == int32(i) {
+			continue
+		}
+		tmp := es[i]
+		j := i
+		for {
+			k := int(idx[j])
+			idx[j] = int32(j)
+			if k == i {
+				es[j] = tmp
+				break
+			}
+			es[j] = es[k]
+			j = k
+		}
+	}
+}
+
+// bucketOrder attempts the merge-aware fast path of Sort: a leader merging
+// its cohort appends entries writer by writer in ascending rank order (and a
+// sorted index being re-sorted is a further special case), so within each
+// variable name the input is already ordered by (WriterRank, Offset). One
+// scan over a small name table verifies that; when it holds, the canonical
+// order is a stable concatenation of the per-name runs in name order — no
+// comparison sort at all. On success idx is filled with the permutation
+// (idx[j] = source position of the entry destined for slot j) and the result
+// is true; inputs with more distinct names than the table, or out-of-order
+// runs, report false with idx untouched.
+func (li *LocalIndex) bucketOrder(idx []int32) bool {
+	es := li.Entries
+	type nameRun struct {
+		name     string
+		count    int32
+		lastRank int32
+		lastOff  int64
+		start    int32
+	}
+	var buf [16]nameRun
+	runs := buf[:0]
+	for i := range es {
+		e := &es[i]
+		j := 0
+		for ; j < len(runs); j++ {
+			if runs[j].name == e.Name {
+				break
+			}
+		}
+		if j == len(runs) {
+			if len(runs) == cap(runs) {
+				return false
+			}
+			runs = append(runs, nameRun{name: e.Name, count: 1, lastRank: e.WriterRank, lastOff: e.Offset})
+			continue
+		}
+		rn := &runs[j]
+		if e.WriterRank < rn.lastRank || (e.WriterRank == rn.lastRank && e.Offset < rn.lastOff) {
+			return false
+		}
+		rn.lastRank, rn.lastOff = e.WriterRank, e.Offset
+		rn.count++
+	}
+	// Insertion-sort the few runs by name, then assign each its slice of the
+	// output by prefix sum.
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].name < runs[j-1].name; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+	pos := int32(0)
+	for j := range runs {
+		runs[j].start = pos
+		pos += runs[j].count
+	}
+	for i := range es {
+		nm := es[i].Name
+		for j := range runs {
+			if runs[j].name == nm {
+				idx[runs[j].start] = int32(i)
+				runs[j].start++
+				break
+			}
+		}
+	}
+	return true
 }
 
 // TotalBytes sums the data bytes the index covers.
@@ -275,6 +382,22 @@ func (li *LocalIndex) Encode() ([]byte, error) {
 	return li.appendTo(make([]byte, 0, li.encodedSize()))
 }
 
+// EncodedLen returns the exact length Encode would produce, applying the
+// same validation, without materialising the bytes. The simulation
+// transports charge index writes to the file system by size only — the
+// encoded form is needed just by readers and persistence.
+func (li *LocalIndex) EncodedLen() (int, error) {
+	if len(li.File) > maxStringLen {
+		return 0, fmt.Errorf("bp: string too long (%d)", len(li.File))
+	}
+	for i := range li.Entries {
+		if len(li.Entries[i].Name) > maxStringLen {
+			return 0, fmt.Errorf("bp: string too long (%d)", len(li.Entries[i].Name))
+		}
+	}
+	return li.encodedSize(), nil
+}
+
 // DecodeLocal parses a local index from data.
 func DecodeLocal(data []byte) (*LocalIndex, error) {
 	r := bytes.NewReader(data)
@@ -314,6 +437,23 @@ func DecodeLocal(data []byte) (*LocalIndex, error) {
 }
 
 // Encode serialises the global index (sorting it canonically first).
+// EncodedLen returns the exact length Encode would produce, applying the
+// same validation, without materialising the bytes. Like Encode it sorts
+// the locals first (the length itself is order-independent, but callers
+// interleave it with Encode and both must observe the canonical order).
+func (g *GlobalIndex) EncodedLen() (int, error) {
+	g.Sort()
+	size := 4 + 2 + 8 + 4
+	for i := range g.Locals {
+		n, err := g.Locals[i].EncodedLen()
+		if err != nil {
+			return 0, err
+		}
+		size += 8 + n
+	}
+	return size, nil
+}
+
 func (g *GlobalIndex) Encode() ([]byte, error) {
 	g.Sort()
 	size := 4 + 2 + 8 + 4

@@ -222,3 +222,85 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// referenceSort is the straightforward stable sort Sort must be equivalent
+// to, regardless of which internal path (bucket-order fast path or the
+// comparison fallback) handles the input.
+func referenceSort(es []VarEntry) []VarEntry {
+	out := make([]VarEntry, len(es))
+	copy(out, es)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && compareEntries(&out[j], &out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestSortMatchesReference(t *testing.T) {
+	entry := func(name string, rank int32, off int64) VarEntry {
+		return VarEntry{Name: name, WriterRank: rank, Offset: off, Length: 8}
+	}
+	manyNames := make([]VarEntry, 0, 40) // >16 names defeats the fast path's inline table
+	for i := 0; i < 20; i++ {
+		manyNames = append(manyNames,
+			entry(string(rune('a'+19-i)), 1, int64(i)),
+			entry(string(rune('a'+19-i)), 0, int64(i)))
+	}
+	cases := []struct {
+		name string
+		es   []VarEntry
+	}{
+		{"empty", nil},
+		{"single", []VarEntry{entry("x", 0, 0)}},
+		{"sorted", []VarEntry{entry("a", 0, 0), entry("a", 1, 0), entry("b", 0, 0)}},
+		{"reverse", []VarEntry{entry("b", 0, 0), entry("a", 1, 0), entry("a", 0, 0)}},
+		// The leader-merge shape: per-name runs already (rank, offset)
+		// ordered, names interleaved out of order.
+		{"merge", []VarEntry{
+			entry("rho", 0, 0), entry("rho", 1, 64), entry("B_x", 0, 0),
+			entry("B_x", 2, 32), entry("psi", 1, 0), entry("rho", 3, 0),
+		}},
+		// Within-name disorder forces the comparison fallback.
+		{"rankDisorder", []VarEntry{entry("a", 2, 0), entry("a", 1, 0), entry("a", 3, 0)}},
+		{"offsetDisorder", []VarEntry{entry("a", 1, 64), entry("a", 1, 0)}},
+		{"manyNames", manyNames},
+	}
+	for _, tc := range cases {
+		name, es := tc.name, tc.es
+		want := referenceSort(es)
+		li := LocalIndex{Entries: append([]VarEntry(nil), es...)}
+		li.Sort()
+		if len(li.Entries) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(li.Entries, want) {
+			t.Errorf("%s: Sort mismatch\n got %+v\nwant %+v", name, li.Entries, want)
+		}
+	}
+}
+
+func TestSortMatchesReferenceQuick(t *testing.T) {
+	names := []string{"a", "b", "c", "rho"}
+	f := func(picks []uint8) bool {
+		es := make([]VarEntry, len(picks))
+		for i, p := range picks {
+			es[i] = VarEntry{
+				Name:       names[int(p)%len(names)],
+				WriterRank: int32(p>>2) % 5,
+				Offset:     int64(p>>4) % 3,
+				Length:     4,
+			}
+		}
+		want := referenceSort(es)
+		li := LocalIndex{Entries: es}
+		li.Sort()
+		if len(es) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(li.Entries, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,10 +60,14 @@ type (
 		TargetGroup int
 		Bytes       int64
 	}
-	// msgIndexBody carries a writer's index entries to the target SC.
+	// msgIndexBody announces that a writer's index records are on the wire
+	// to the target SC. The records themselves are derivable — the SC holds
+	// every rank's RankData in st.dataOf and reconstructs them from
+	// (Writer, Offset) on receipt, building its merged index in place
+	// instead of copying a per-writer slice out of each message.
 	msgIndexBody struct {
-		Writer  int
-		Entries []bp.VarEntry
+		Writer int
+		Offset int64
 	}
 	// msgAdaptiveStart is C's ADAPTIVE WRITE START request to an SC.
 	msgAdaptiveStart struct {
@@ -192,14 +196,14 @@ type stepState struct {
 	files     []*pfs.File
 	fileNames []string
 	dataOf    []iomethod.RankData
+	machines  []stepCont // per rank, one backing array for the whole step
 
-	arrived    int
-	setupDone  *simkernel.WaitGroup
-	start      *simkernel.Signal
-	t0         simkernel.Time
-	t0Set      bool
-	returned   int
-	globalText []byte // encoded global index (for inspection/examples)
+	arrived   int
+	setupDone *simkernel.WaitGroup
+	start     *simkernel.Signal
+	t0        simkernel.Time
+	t0Set     bool
+	returned  int
 }
 
 // planGroups splits W ranks into contiguous groups, one per storage target,
@@ -240,6 +244,7 @@ func (a *Adaptive) getStep(stepName string) *stepState {
 			files:     make([]*pfs.File, len(groups)),
 			fileNames: make([]string, len(groups)),
 			dataOf:    make([]iomethod.RankData, W),
+			machines:  make([]stepCont, W),
 			setupDone: simkernel.NewWaitGroup(a.w.Kernel()),
 			start:     simkernel.NewSignal(a.w.Kernel()),
 			res: &iomethod.StepResult{
@@ -295,13 +300,14 @@ func (a *Adaptive) WriteStep(r *mpisim.Rank, stepName string, data iomethod.Rank
 	st.start.Broadcast()
 
 	// --- Timed phase. ---
-	scDone := simkernel.NewWaitGroup(a.w.Kernel())
+	var scDone, cDone *simkernel.WaitGroup
 	if isSC {
+		scDone = simkernel.NewWaitGroup(a.w.Kernel())
 		scDone.Add(1)
 		a.spawnSC(r, st, g, scDone)
 	}
-	cDone := simkernel.NewWaitGroup(a.w.Kernel())
 	if isC {
+		cDone = simkernel.NewWaitGroup(a.w.Kernel())
 		cDone.Add(1)
 		a.spawnC(r, st, cDone)
 	}
@@ -338,7 +344,7 @@ func (a *Adaptive) writerRole(r *mpisim.Rank, st *stepState, rank, g int, data i
 	m := r.RecvAs(p, mpisim.AnySource, tagToWriter)
 	go_ := m.Data.(msgWriteGo)
 
-	entries, total := iomethod.BuildEntries(rank, go_.Offset, data)
+	total := data.TotalBytes()
 	file := st.files[go_.TargetGroup]
 	file.WriteAt(p, go_.Offset, total)
 
@@ -357,7 +363,7 @@ func (a *Adaptive) writerRole(r *mpisim.Rank, st *stepState, rank, g int, data i
 	}
 	// The index travels separately and after the data, so its transfer
 	// overlaps the next writer's data (Section III-B.1).
-	r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Entries: entries})
+	r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Offset: go_.Offset})
 	return nil
 }
 
@@ -377,7 +383,20 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 		missingIndices := 0
 		scCompleteSent := false
 		loopDone := false
-		var indexEntries []bp.VarEntry
+		// Pre-size the index accumulation for the typical case — every
+		// member writes to its own group's file (st.dataOf is complete once
+		// start has broadcast). Adaptive redirection shifts writers between
+		// files, so this is a capacity hint, not a bound; append growth
+		// covers the imbalance.
+		nE, nD := 0, 0
+		for _, w := range members {
+			nE += len(st.dataOf[w].Vars)
+			for _, v := range st.dataOf[w].Vars {
+				nD += len(v.Dims)
+			}
+		}
+		indexEntries := make([]bp.VarEntry, 0, nE)
+		indexDims := make([]uint64, 0, nD)
 
 		signalNext := func() {
 			for activeOnMyFile < a.cfg.WritersPerTarget && len(waiting) > 0 {
@@ -419,7 +438,8 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 					r.SendFrom(r.Rank(), coordRank, tagToC, msgSCComplete{Group: g, FinalOffset: myOffset})
 				}
 			case msgIndexBody:
-				indexEntries = append(indexEntries, msg.Entries...)
+				indexEntries, indexDims = iomethod.AppendEntries(
+					indexEntries, indexDims, msg.Writer, msg.Offset, st.dataOf[msg.Writer])
 				missingIndices--
 			case msgAdaptiveStart:
 				if len(waiting) == 0 {
@@ -442,13 +462,13 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 		// local index, send it to C.
 		li := bp.LocalIndex{File: st.fileNames[g], Entries: indexEntries}
 		li.Sort()
-		enc, err := li.Encode()
+		encLen, err := li.EncodedLen()
 		if err != nil {
 			panic(err)
 		}
 		file := st.files[g]
-		file.Append(p, int64(len(enc)))
-		st.res.IndexBytes += float64(len(enc))
+		file.Append(p, int64(encLen))
+		st.res.IndexBytes += float64(encLen)
 		// Explicit flush before close (the paper's measurement protocol).
 		file.Flush(p)
 		file.Close(p)
@@ -587,17 +607,16 @@ func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGro
 		global.Sort()
 		st.res.Global = global
 		if a.cfg.WriteGlobalIndex {
-			enc, err := global.Encode()
+			encLen, err := global.EncodedLen()
 			if err != nil {
 				panic(err)
 			}
-			st.globalText = enc
 			gf, err := a.fs.Create(p, st.name+".gidx.bp", pfs.Layout{StripeCount: 1})
 			if err != nil {
 				panic(err)
 			}
-			gf.WriteAt(p, 0, int64(len(enc)))
-			st.res.IndexBytes += float64(len(enc))
+			gf.WriteAt(p, 0, int64(encLen))
+			st.res.IndexBytes += float64(encLen)
 			gf.Flush(p)
 			gf.Close(p)
 		}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/iomethod"
+	"repro/internal/mpisim"
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// The continuation form of WriteStep: the straight-line writer role (and
+// the setup/join bookkeeping around it) runs as a run-to-completion state
+// machine, while the genuinely branching coordinator loops — the
+// sub-coordinator (Algorithm 2) and coordinator (Algorithm 3) — stay on
+// goroutines, spawned from inside the machine exactly where WriteStep
+// spawns them. Both engines schedule identical events.
+
+// stepCont is one rank's adaptive collective step in flight.
+type stepCont struct {
+	a    *Adaptive
+	st   *stepState
+	r    *mpisim.Rank
+	rank int
+	g    int
+	isSC bool
+	isC  bool
+	data iomethod.RankData
+
+	pc     int
+	total  int64
+	target int
+	offset int64
+
+	scDone *simkernel.WaitGroup
+	cDone  *simkernel.WaitGroup
+
+	create pfs.CreateOp
+	write  pfs.WriteOp
+	recv   mpisim.RecvOp
+
+	res *iomethod.StepResult
+	err error
+}
+
+// BeginStepCont implements iomethod.ContMethod. It only arms the machine;
+// all simulation work happens in Step.
+func (a *Adaptive) BeginStepCont(r *mpisim.Rank, stepName string, data iomethod.RankData) iomethod.StepCont {
+	st := a.getStep(stepName)
+	rank := r.Rank()
+	g := st.groupOf[rank]
+	s := &st.machines[rank]
+	*s = stepCont{
+		a: a, st: st, r: r, rank: rank, g: g,
+		isSC: st.groups[g][0] == rank, isC: rank == 0,
+		data: data,
+	}
+	return s
+}
+
+// Step drives the rank's participation in the collective step; it mirrors
+// WriteStep (and its writerRole) statement for statement.
+//
+//repro:hotpath
+func (s *stepCont) Step(c *simkernel.ContProc) bool {
+	a, st := s.a, s.st
+	for {
+		switch s.pc {
+		case 0:
+			st.dataOf[s.rank] = s.data
+			s.pc = 1
+			if s.isSC && a.cfg.StaggerOpens > 0 {
+				c.Sleep(time.Duration(s.g) * a.cfg.StaggerOpens)
+				return false
+			}
+		case 1:
+			if s.isSC {
+				s.create.BeginCreate(a.fs, st.fileNames[s.g],
+					pfs.Layout{OSTs: []int{a.cfg.OSTs[s.g%len(a.cfg.OSTs)]}})
+				s.pc = 2
+			} else {
+				s.pc = 3
+			}
+		case 2:
+			if !s.create.Step(c) {
+				return false
+			}
+			if err := s.create.Err(); err != nil {
+				s.err = err
+				return true
+			}
+			st.files[s.g] = s.create.File()
+			s.pc = 3
+		case 3:
+			st.setupDone.Done()
+			s.pc = 4
+		case 4:
+			if !st.setupDone.WaitCont(c) {
+				return false
+			}
+			if !st.t0Set {
+				st.t0 = c.Now()
+				st.t0Set = true
+				st.res.MDSOpenQueuePeak = a.fs.MDS.Stats.MaxQueue
+			}
+			st.start.Broadcast()
+
+			if s.isSC {
+				s.scDone = simkernel.NewWaitGroup(a.w.Kernel())
+				s.scDone.Add(1)
+				a.spawnSC(s.r, st, s.g, s.scDone)
+			}
+			if s.isC {
+				s.cDone = simkernel.NewWaitGroup(a.w.Kernel())
+				s.cDone.Add(1)
+				a.spawnC(s.r, st, s.cDone)
+			}
+
+			// Writer role (Algorithm 1), continuation form.
+			s.pc = 5
+			if !s.r.RecvCont(&s.recv, c, mpisim.AnySource, tagToWriter) {
+				return false
+			}
+		case 5:
+			go_ := s.recv.Msg().Data.(msgWriteGo)
+			s.total = s.data.TotalBytes()
+			s.target = go_.TargetGroup
+			s.offset = go_.Offset
+			s.write.BeginWrite(st.files[go_.TargetGroup], go_.Offset, s.total)
+			s.pc = 6
+		case 6:
+			if !s.write.Step(c) {
+				return false
+			}
+			st.res.WriterTimes[s.rank] = (c.Now() - st.t0).Seconds()
+			st.res.TotalBytes += float64(s.total)
+			if s.target != s.g {
+				st.res.AdaptiveWrites++
+			}
+			triggeringSC := st.groups[s.g][0]
+			targetSC := st.groups[s.target][0]
+			done := msgWriteComplete{Writer: s.rank, SourceGroup: s.g, TargetGroup: s.target, Bytes: s.total}
+			s.r.Send(triggeringSC, tagToSC, done) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+			if targetSC != triggeringSC {
+				s.r.Send(targetSC, tagToSC, done) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+			}
+			// The index travels separately and after the data, so its
+			// transfer overlaps the next writer's data (Section III-B.1).
+			s.r.Send(targetSC, tagToSC, msgIndexBody{Writer: s.rank, Offset: s.offset}) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+			s.pc = 7
+		case 7:
+			if s.isSC && !s.scDone.WaitCont(c) {
+				return false
+			}
+			s.pc = 8
+		default:
+			if s.isC && !s.cDone.WaitCont(c) {
+				return false
+			}
+			if el := (c.Now() - st.t0).Seconds(); el > st.res.Elapsed {
+				st.res.Elapsed = el
+			}
+			st.returned++
+			if st.returned == a.w.Size() {
+				delete(a.steps, st.name)
+			}
+			s.res = st.res
+			return true
+		}
+	}
+}
+
+// Result implements iomethod.StepCont.
+func (s *stepCont) Result() (*iomethod.StepResult, error) { return s.res, s.err }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// The run-to-completion rank engine must be a pure implementation detail:
+// setting REPRO_NO_CONT=1 swaps every ported rank body back onto the
+// goroutine engine, and each driver must produce bit-identical results
+// either way — sequentially and under the parallel runner. These tests pin
+// that contract for every paper artifact (Fig 1, Table I, Fig 5, and the
+// job-mix frontier) at 1 and 8 workers.
+
+// bothEngines runs the driver once per engine, forcing the environment both
+// ways so the test is meaningful regardless of the ambient REPRO_NO_CONT.
+func bothEngines[T any](t *testing.T, run func() (T, error)) (contRes, gorRes T) {
+	t.Helper()
+	t.Setenv("REPRO_NO_CONT", "")
+	contRes, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("REPRO_NO_CONT", "1")
+	gorRes, err = run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return contRes, gorRes
+}
+
+func TestEngineBitIdenticalFig1(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		opts := Fig1Options{
+			OSTs:     4,
+			Ratios:   []int{1, 4},
+			SizesMB:  []float64{8, 128},
+			Samples:  2,
+			Seed:     23,
+			Parallel: parallel,
+		}
+		cont, gor := bothEngines(t, func() (*Fig1Result, error) { return Fig1(opts) })
+		if !reflect.DeepEqual(cont.Samples, gor.Samples) {
+			t.Errorf("parallel=%d: Fig1 samples diverged between engines:\ncont: %v\ngoroutine: %v",
+				parallel, cont.Samples, gor.Samples)
+		}
+		if cont.Aggregate.Render() != gor.Aggregate.Render() ||
+			cont.PerWriter.Render() != gor.PerWriter.Render() {
+			t.Errorf("parallel=%d: rendered Fig1 artifacts diverged between engines", parallel)
+		}
+	}
+}
+
+func TestEngineBitIdenticalTableI(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		opts := TableIOptions{
+			JaguarSamples:   6,
+			FranklinSamples: 4,
+			XTPSamples:      4,
+			ScaleOSTs:       16,
+			Seed:            23,
+			Parallel:        parallel,
+		}
+		cont, gor := bothEngines(t, func() (*TableIResult, error) { return TableI(opts) })
+		if !reflect.DeepEqual(cont.Series, gor.Series) {
+			t.Errorf("parallel=%d: Table I series diverged between engines", parallel)
+		}
+		if cont.Table.Render() != gor.Table.Render() {
+			t.Errorf("parallel=%d: rendered table diverged between engines", parallel)
+		}
+	}
+}
+
+func TestEngineBitIdenticalFig5(t *testing.T) {
+	gen := workloads.Pixie3DGen(workloads.Pixie3DSmall)
+	for _, parallel := range []int{1, 8} {
+		opts := EvalOptions{
+			ProcCounts:   []int{32, 64},
+			Samples:      2,
+			MPIOSTs:      4,
+			AdaptiveOSTs: 16,
+			NumOSTs:      16,
+			Seed:         23,
+			Parallel:     parallel,
+		}
+		cont, gor := bothEngines(t, func() (*EvalResult, error) {
+			return EvaluateWorkload(gen, "engine", opts)
+		})
+		if !reflect.DeepEqual(cont.BWSamples, gor.BWSamples) {
+			t.Errorf("parallel=%d: Fig5 BW samples diverged between engines:\ncont: %v\ngoroutine: %v",
+				parallel, cont.BWSamples, gor.BWSamples)
+		}
+		if !reflect.DeepEqual(cont.ElapsedSamples, gor.ElapsedSamples) {
+			t.Errorf("parallel=%d: Fig5 elapsed samples diverged between engines", parallel)
+		}
+		if !reflect.DeepEqual(cont.AdaptiveCounts, gor.AdaptiveCounts) {
+			t.Errorf("parallel=%d: Fig5 adaptive counts diverged between engines", parallel)
+		}
+		if cont.Figure.Render() != gor.Figure.Render() {
+			t.Errorf("parallel=%d: rendered figure diverged between engines", parallel)
+		}
+	}
+}
+
+func TestEngineBitIdenticalJobMix(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		opt := tinyJobMix()
+		opt.Parallel = parallel
+		cont, gor := bothEngines(t, func() (*JobMixResult, error) { return JobMix(opt) })
+		if !reflect.DeepEqual(cont.Cases, gor.Cases) {
+			t.Errorf("parallel=%d: job-mix cases diverged between engines:\ncont: %+v\ngoroutine: %+v",
+				parallel, cont.Cases, gor.Cases)
+		}
+		ct, gt := JobMixTable(cont), JobMixTable(gor)
+		if ct.Render() != gt.Render() {
+			t.Errorf("parallel=%d: rendered job-mix table diverged between engines", parallel)
+		}
+	}
+}

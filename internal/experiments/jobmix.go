@@ -121,6 +121,20 @@ type JobStat struct {
 	Efficiency float64
 }
 
+// FairnessStat summarizes the per-job slowdown distribution at one
+// frontier point. For every co-scheduled job instance and sample, slowdown
+// is the template's least-contended reference bandwidth over the bandwidth
+// the job actually delivered: 1.0 means no interference, 2.0 means the job
+// ran at half its uncontended rate. The quantiles pool every (job, sample)
+// slowdown at the point, so P95 vs P50 separates "everyone degrades a
+// little" from "one victim job starves" — the fairness question aggregate
+// efficiency cannot answer.
+type FairnessStat struct {
+	P50 float64
+	P95 float64
+	Max float64
+}
+
 // MixCase is one (method, njobs) frontier point.
 type MixCase struct {
 	Method adios.Method
@@ -136,6 +150,8 @@ type MixCase struct {
 	// bandwidth. 1.0 means each job still delivers what it did when least
 	// contended; decay along the sweep is the saturation frontier.
 	Efficiency float64
+	// Fairness is the per-job slowdown distribution (see FairnessStat).
+	Fairness FairnessStat
 }
 
 // JobMixResult is the full frontier: cases in method-outer, njobs order,
@@ -210,6 +226,25 @@ func jobMixDemux(run *scenario.Result) (*JobMixResult, error) {
 			if ideal > 0 {
 				mc.Efficiency = meanOf(mc.AggBW) / ideal
 			}
+			var slowdowns []float64
+			for i := range jobOrder {
+				ref := refBW[jobTemplate(jobOrder[i].Name)]
+				if ref <= 0 {
+					continue
+				}
+				for _, bw := range jobBW[jobOrder[i].Name] {
+					if bw > 0 {
+						slowdowns = append(slowdowns, ref/bw)
+					}
+				}
+			}
+			if len(slowdowns) > 0 {
+				mc.Fairness = FairnessStat{
+					P50: stats.Percentile(slowdowns, 50),
+					P95: stats.Percentile(slowdowns, 95),
+					Max: stats.Percentile(slowdowns, 100),
+				}
+			}
 			series.Add(fmt.Sprintf("%d", n), mc.AggBW)
 			res.Cases = append(res.Cases, mc)
 		}
@@ -232,7 +267,7 @@ func jobTemplate(name string) string {
 func JobMixTable(r *JobMixResult) metrics.Table {
 	t := metrics.Table{
 		Title:  "Saturation frontier (per-method job-count sweep)",
-		Header: []string{"Method", "Jobs", "Agg BW (GB/s)", "Makespan (s)", "Efficiency", "Per-job GB/s (eff)"},
+		Header: []string{"Method", "Jobs", "Agg BW (GB/s)", "Makespan (s)", "Efficiency", "Slowdown p50/p95/max", "Per-job GB/s (eff)"},
 	}
 	for _, c := range r.Cases {
 		var jobs []string
@@ -243,6 +278,7 @@ func JobMixTable(r *JobMixResult) metrics.Table {
 			fmt.Sprintf("%.2f", meanOf(c.AggBW)),
 			fmt.Sprintf("%.1f", stats.Summarize(c.Makespan).Mean),
 			fmt.Sprintf("%.2f", c.Efficiency),
+			fmt.Sprintf("%.2f/%.2f/%.2f", c.Fairness.P50, c.Fairness.P95, c.Fairness.Max),
 			strings.Join(jobs, " "))
 	}
 	return t

@@ -118,3 +118,41 @@ func TestJobMixRegistered(t *testing.T) {
 		t.Fatal("unknown mode must error")
 	}
 }
+
+// TestJobMixFairness pins the fairness demux: slowdowns are pooled per
+// (job, sample) against each template's least-contended reference, the
+// quantiles are ordered, and a single uncontended job whose reference is
+// its own mean sits at a slowdown of ~1.
+func TestJobMixFairness(t *testing.T) {
+	r, err := JobMix(tinyJobMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r.Cases {
+		f := c.Fairness
+		if !(f.P50 > 0 && f.P95 > 0 && f.Max > 0) {
+			t.Fatalf("case %d: fairness not populated: %+v", i, f)
+		}
+		if f.P50 > f.P95 || f.P95 > f.Max {
+			t.Errorf("case %d: quantiles out of order: %+v", i, f)
+		}
+		if c.NJobs == 1 {
+			// The single job's reference is its own cross-sample mean, so
+			// per-sample slowdowns straddle 1: the pool's median must be
+			// near 1 and its extremes within sample noise of it.
+			if f.P50 < 0.5 || f.P50 > 2 {
+				t.Errorf("case %d: 1-job median slowdown = %g, want ~1", i, f.P50)
+			}
+			if f.Max < 1-1e-9 {
+				t.Errorf("case %d: 1-job max slowdown = %g, want >= 1 (mean reference)", i, f.Max)
+			}
+		}
+	}
+	tbl := JobMixTable(r)
+	if len(tbl.Header) != 7 {
+		t.Fatalf("table header = %v, want 7 columns including slowdown", tbl.Header)
+	}
+	if !strings.Contains(tbl.Header[5], "Slowdown") {
+		t.Errorf("header %v missing slowdown column", tbl.Header)
+	}
+}

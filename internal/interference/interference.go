@@ -105,6 +105,13 @@ type Noise struct {
 	globalBody func(p *simkernel.Proc)   //repro:reset-skip cached process body, built once by Start
 	hotBody    func(p *simkernel.Proc)   //repro:reset-skip cached process body, built once by Start
 	ostBodies  []func(p *simkernel.Proc) //repro:reset-skip cached process bodies, built once by Start
+
+	// Continuation machines, one per process: the default engine. arm()
+	// rewinds each machine's program counter before every spawn, so the
+	// same values serve every replica.
+	globalC globalCont //repro:reset-skip re-armed (pc rewound) by arm on every Reset
+	hotC    hotCont    //repro:reset-skip re-armed (pc rewound) by arm on every Reset
+	ostC    []ostCont  //repro:reset-skip re-armed (pc rewound) by arm on every Reset
 }
 
 type ostMood struct {
@@ -139,6 +146,7 @@ func Start(fs *pfs.FileSystem, cfg NoiseConfig) *Noise {
 func (n *Noise) build() {
 	if n.cfg.GlobalCV > 0 {
 		n.grng = n.rng.Derive("global")
+		n.globalC = globalCont{n: n}
 		n.globalBody = func(p *simkernel.Proc) {
 			for !n.stopped {
 				p.SleepSeconds(n.grng.Exp(maxf(n.cfg.GlobalMeanEpisode, 1)))
@@ -155,6 +163,7 @@ func (n *Noise) build() {
 		n.ostNames = make([]string, numOSTs)
 		n.mm = make([]*rngx.MarkovOnOff, numOSTs)
 		n.ostBodies = make([]func(p *simkernel.Proc), numOSTs)
+		n.ostC = make([]ostCont, numOSTs)
 		for i := 0; i < numOSTs; i++ {
 			i := i
 			n.ostLabels[i] = fmt.Sprintf("ost-%d", i)
@@ -163,6 +172,7 @@ func (n *Noise) build() {
 			n.ostRng[i] = orng
 			mm := rngx.NewMarkovOnOff(orng, n.cfg.PerOSTMeanOn, n.cfg.PerOSTMeanOff)
 			n.mm[i] = mm
+			n.ostC[i] = ostCont{n: n, i: i}
 			n.ostBodies[i] = func(p *simkernel.Proc) {
 				for !n.stopped {
 					p.SleepSeconds(mm.NextTransition())
@@ -180,6 +190,7 @@ func (n *Noise) build() {
 
 	if n.cfg.HotMeanEvery > 0 && n.cfg.HotOSTs > 0 {
 		n.hrng = n.rng.Derive("hot")
+		n.hotC = hotCont{n: n}
 		n.hotBody = func(p *simkernel.Proc) {
 			for !n.stopped {
 				p.SleepSeconds(n.hrng.Exp(n.cfg.HotMeanEvery))
@@ -212,20 +223,36 @@ func (n *Noise) build() {
 // construction from arming leaves every stream's sequence intact.
 func (n *Noise) arm() {
 	k := n.fs.K
+	cont := simkernel.ContEnabled()
 	if n.grng != nil {
 		n.global = n.drawGlobal(n.grng)
 		n.applyAll()
-		k.Spawn("noise-global", n.globalBody)
+		if cont {
+			n.globalC.pc = 0
+			k.SpawnCont("noise-global", &n.globalC)
+		} else {
+			k.Spawn("noise-global", n.globalBody)
+		}
 	}
 	for i := range n.mm {
 		if n.mm[i].On() {
 			n.perOST[i].busyStreams = n.drawStreams(n.ostRng[i])
 		}
 		n.apply(i)
-		k.Spawn(n.ostNames[i], n.ostBodies[i])
+		if cont {
+			n.ostC[i].pc = 0
+			k.SpawnCont(n.ostNames[i], &n.ostC[i])
+		} else {
+			k.Spawn(n.ostNames[i], n.ostBodies[i])
+		}
 	}
 	if n.hrng != nil {
-		k.Spawn("noise-hot", n.hotBody)
+		if cont {
+			n.hotC.pc = 0
+			k.SpawnCont("noise-hot", &n.hotC)
+		} else {
+			k.Spawn("noise-hot", n.hotBody)
+		}
 	}
 }
 
@@ -276,6 +303,112 @@ func (n *Noise) Reset(cfg NoiseConfig) {
 		n.hrng.ReseedNamed(n.rng.Int63(), "hot")
 	}
 	n.arm()
+}
+
+// The continuation forms of the three noise bodies: each machine mirrors
+// its goroutine closure statement for statement, so both engines draw the
+// same random sequences and schedule the same wakeup events (the goroutine
+// bodies stay behind REPRO_NO_CONT=1 for bisection). pc 0 is "about to
+// sleep", pc 1 is "woken from the sleep".
+
+// globalCont redraws the machine-wide busy factor each episode.
+type globalCont struct {
+	n  *Noise
+	pc int
+}
+
+// Step implements simkernel.Cont.
+func (g *globalCont) Step(c *simkernel.ContProc) bool {
+	n := g.n
+	for {
+		switch g.pc {
+		case 0:
+			if n.stopped {
+				return true
+			}
+			c.SleepSeconds(n.grng.Exp(maxf(n.cfg.GlobalMeanEpisode, 1)))
+			g.pc = 1
+			return false
+		default:
+			n.global = n.drawGlobal(n.grng)
+			n.applyAll()
+			g.pc = 0
+		}
+	}
+}
+
+// ostCont flips one target's busy/idle Markov state each transition.
+type ostCont struct {
+	n  *Noise
+	i  int
+	pc int
+}
+
+// Step implements simkernel.Cont.
+func (o *ostCont) Step(c *simkernel.ContProc) bool {
+	n, i := o.n, o.i
+	mm := n.mm[i]
+	for {
+		switch o.pc {
+		case 0:
+			if n.stopped {
+				return true
+			}
+			c.SleepSeconds(mm.NextTransition())
+			o.pc = 1
+			return false
+		default:
+			mm.Advance(mm.NextTransition())
+			if mm.On() {
+				n.perOST[i].busyStreams = n.drawStreams(n.ostRng[i])
+			} else {
+				n.perOST[i].busyStreams = 0
+			}
+			n.apply(i)
+			o.pc = 0
+		}
+	}
+}
+
+// hotCont strikes a contiguous band of targets each hot episode.
+type hotCont struct {
+	n  *Noise
+	pc int
+}
+
+// Step implements simkernel.Cont.
+func (h *hotCont) Step(c *simkernel.ContProc) bool {
+	n := h.n
+	for {
+		switch h.pc {
+		case 0:
+			if n.stopped {
+				return true
+			}
+			c.SleepSeconds(n.hrng.Exp(n.cfg.HotMeanEvery))
+			h.pc = 1
+			return false
+		default:
+			if n.stopped {
+				return true
+			}
+			dur := n.hrng.Exp(maxf(n.cfg.HotDuration, 1))
+			until := c.Now() + simkernel.FromSeconds(dur)
+			// Strike a contiguous band of targets (analysis reads hit
+			// the stripes of one recent output, which are adjacent).
+			start := n.hrng.Intn(len(n.fs.OSTs))
+			for j := 0; j < n.cfg.HotOSTs; j++ {
+				idx := (start + j) % len(n.fs.OSTs)
+				n.perOST[idx].hotUntil = until
+				n.perOST[idx].hotFactor = n.cfg.HotSlowFactor *
+					(0.75 + 0.5*n.hrng.Float64()) // 0.75x–1.25x severity spread
+				n.apply(idx)
+				idx2 := idx
+				n.fs.K.At(until, func() { n.apply(idx2) }) //repro:allow hotpath one closure per struck target per hot episode — episodes are minutes apart in virtual time, identical to the goroutine body
+			}
+			h.pc = 0
+		}
+	}
 }
 
 func maxf(a, b float64) float64 {

@@ -110,7 +110,6 @@ type Factory func(w *mpisim.World, fs *pfs.FileSystem) (Method, error)
 // contiguously starting at offset, returning the entries and the total
 // bytes consumed.
 func BuildEntries(rank int, offset int64, data RankData) ([]bp.VarEntry, int64) {
-	entries := make([]bp.VarEntry, len(data.Vars))
 	// The Dims copies share one backing array: two allocations per rank per
 	// step instead of one per variable (entries keep their own copy so the
 	// index stays valid however the caller reuses the spec).
@@ -118,11 +117,24 @@ func BuildEntries(rank int, offset int64, data RankData) ([]bp.VarEntry, int64) 
 	for _, v := range data.Vars {
 		nDims += len(v.Dims)
 	}
-	dims := make([]uint64, 0, nDims)
+	entries, _ := AppendEntries(
+		make([]bp.VarEntry, 0, len(data.Vars)),
+		make([]uint64, 0, nDims),
+		rank, offset, data)
+	return entries, data.TotalBytes()
+}
+
+// AppendEntries appends the records BuildEntries would produce onto
+// entries, using dims as the shared Dims backing store, and returns both
+// extended slices. Index mergers call it directly to build one
+// cohort-sized allocation instead of per-rank intermediates; a dims
+// regrowth mid-append leaves earlier entries aliasing the old backing
+// array, which stays valid (entries never write through Dims).
+func AppendEntries(entries []bp.VarEntry, dims []uint64, rank int, offset int64, data RankData) ([]bp.VarEntry, []uint64) {
 	cur := offset
-	for i, v := range data.Vars {
+	for _, v := range data.Vars {
 		dims = append(dims, v.Dims...)
-		entries[i] = bp.VarEntry{
+		entries = append(entries, bp.VarEntry{
 			Name:       v.Name,
 			WriterRank: int32(rank),
 			Offset:     cur,
@@ -130,8 +142,8 @@ func BuildEntries(rank int, offset int64, data RankData) ([]bp.VarEntry, int64) 
 			Dims:       dims[len(dims)-len(v.Dims):],
 			Min:        v.Min,
 			Max:        v.Max,
-		}
+		})
 		cur += v.Bytes
 	}
-	return entries, cur - offset
+	return entries, dims
 }

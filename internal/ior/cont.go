@@ -1,0 +1,144 @@
+package ior
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// The continuation rendition of the IOR writer body. Launch selects it by
+// default (REPRO_NO_CONT=1 restores the goroutine writers); both engines
+// schedule the same events in the same order, pinned by
+// TestContWritersMatchGoroutine.
+
+// iorShared carries the shared-file handle from writer 0 to the rest of a
+// SharedFile-mode run (the cont counterpart of Launch's captured variable).
+type iorShared struct {
+	f *pfs.File
+}
+
+// iorWriter is one writer's state machine: create (untimed), barrier, then
+// the timed write/flush region, and the collective bookkeeping.
+type iorWriter struct {
+	pc  int
+	run *Run
+	i   int
+
+	fileName string
+	layout   pfs.Layout
+	doCreate bool
+	offset   int64
+	shared   *iorShared
+
+	ready *simkernel.WaitGroup
+	start *simkernel.Signal
+
+	f  *pfs.File
+	t0 simkernel.Time
+
+	create  pfs.CreateOp
+	write   pfs.WriteOp
+	flushOp pfs.FlushOp
+	closeOp pfs.CloseOp
+}
+
+//repro:hotpath
+func (m *iorWriter) Step(c *simkernel.ContProc) bool {
+	cfg := &m.run.cfg
+	for {
+		switch m.pc {
+		case 0:
+			if m.doCreate {
+				m.create.BeginCreate(m.run.fs, m.fileName, m.layout)
+				m.pc = 1
+			} else {
+				m.pc = 2
+			}
+		case 1:
+			if !m.create.Step(c) {
+				return false
+			}
+			if err := m.create.Err(); err != nil {
+				panic(err)
+			}
+			if cfg.Mode == SharedFile {
+				m.shared.f = m.create.File()
+			} else {
+				m.f = m.create.File()
+			}
+			m.pc = 2
+		case 2:
+			m.ready.Done()
+			m.pc = 3
+		case 3:
+			if !m.start.WaitCont(c) {
+				return false
+			}
+			if cfg.Mode == SharedFile {
+				m.f = m.shared.f
+			}
+			m.t0 = c.Now()
+			m.write.BeginWrite(m.f, m.offset, int64(cfg.BytesPerWriter))
+			m.pc = 4
+		case 4:
+			if !m.write.Step(c) {
+				return false
+			}
+			if cfg.Flush {
+				m.flushOp.BeginFlush(m.f)
+				m.pc = 5
+			} else {
+				m.pc = 6
+			}
+		case 5:
+			if !m.flushOp.Step(c) {
+				return false
+			}
+			m.pc = 6
+		case 6:
+			m.run.result.WriterTimes[m.i] = (c.Now() - m.t0).Seconds()
+			m.run.result.TotalBytes += cfg.BytesPerWriter
+			m.closeOp.BeginClose(m.f)
+			m.pc = 7
+		default:
+			if !m.closeOp.Step(c) {
+				return false
+			}
+			m.run.done.Done()
+			return true
+		}
+	}
+}
+
+// launchContWriters spawns the continuation writers: same process names,
+// same spawn order, and the same per-writer flow as the goroutine path in
+// Launch. File names and layouts are resolved here, off the hot path.
+func launchContWriters(fs *pfs.FileSystem, run *Run, osts []int,
+	ready *simkernel.WaitGroup, start *simkernel.Signal) {
+	cfg := run.cfg
+	shared := &iorShared{}
+	for i := 0; i < cfg.Writers; i++ {
+		w := &iorWriter{
+			run:    run,
+			i:      i,
+			shared: shared,
+			ready:  ready,
+			start:  start,
+		}
+		switch cfg.Mode {
+		case FilePerProcess:
+			w.doCreate = true
+			w.fileName = fmt.Sprintf("ior%s.%06d", cfg.Tag, i)
+			w.layout = pfs.Layout{OSTs: []int{osts[i%len(osts)]}}
+		case SharedFile:
+			if i == 0 {
+				w.doCreate = true
+				w.fileName = "ior" + cfg.Tag + ".shared"
+				w.layout = pfs.Layout{OSTs: osts}
+			}
+			w.offset = int64(i) * int64(cfg.BytesPerWriter)
+		}
+		fs.K.SpawnCont(fmt.Sprintf("ior%s-w%d", cfg.Tag, i), w)
+	}
+}

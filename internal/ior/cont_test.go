@@ -1,0 +1,59 @@
+package ior
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/simkernel"
+)
+
+// The engine-equivalence pin at the ior level: the same run, once on
+// continuation writers (the default) and once on goroutine writers
+// (REPRO_NO_CONT=1), against identically seeded file systems, must produce
+// identical results in both modes and flush settings.
+
+func runIOR(t *testing.T, cfg Config) Result {
+	t.Helper()
+	k := simkernel.New()
+	fs := pfs.MustNew(k, pfs.Config{NumOSTs: 8, Seed: 11})
+	res, err := Execute(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	return res
+}
+
+func sameResult(a, b Result) bool {
+	if len(a.WriterTimes) != len(b.WriterTimes) {
+		return false
+	}
+	for i := range a.WriterTimes {
+		if a.WriterTimes[i] != b.WriterTimes[i] {
+			return false
+		}
+	}
+	return a.TotalBytes == b.TotalBytes && a.Elapsed == b.Elapsed &&
+		a.AggregateBW == b.AggregateBW &&
+		(a.ImbalanceFactor == b.ImbalanceFactor ||
+			(math.IsNaN(a.ImbalanceFactor) && math.IsNaN(b.ImbalanceFactor)))
+}
+
+func TestContWritersMatchGoroutine(t *testing.T) {
+	cases := []Config{
+		{Writers: 1, BytesPerWriter: 1 << 20},
+		{Writers: 7, BytesPerWriter: 4 << 20, Flush: true},
+		{Writers: 12, BytesPerWriter: 2 << 20, Mode: SharedFile},
+		{Writers: 12, BytesPerWriter: 2 << 20, Mode: SharedFile, Flush: true},
+	}
+	for _, cfg := range cases {
+		cont := runIOR(t, cfg)
+		t.Setenv("REPRO_NO_CONT", "1")
+		gor := runIOR(t, cfg)
+		t.Setenv("REPRO_NO_CONT", "")
+		if !sameResult(cont, gor) {
+			t.Fatalf("engines diverge for %+v:\ncont:      %+v\ngoroutine: %+v", cfg, cont, gor)
+		}
+	}
+}

@@ -92,6 +92,7 @@ func (r *Result) MeanPerWriterBW() float64 {
 // Run is a launched IOR instance; read Result after the kernel has drained.
 type Run struct {
 	cfg    Config
+	fs     *pfs.FileSystem
 	result Result
 	done   *simkernel.WaitGroup
 }
@@ -148,7 +149,7 @@ func Launch(fs *pfs.FileSystem, cfg Config) (*Run, error) {
 		}
 	}
 
-	run := &Run{cfg: cfg}
+	run := &Run{cfg: cfg, fs: fs}
 	run.result.WriterTimes = make([]float64, cfg.Writers)
 	run.done = simkernel.NewWaitGroup(fs.K)
 	run.done.Add(cfg.Writers)
@@ -163,6 +164,14 @@ func Launch(fs *pfs.FileSystem, cfg Config) (*Run, error) {
 		ready.Wait(p)
 		start.Broadcast()
 	})
+
+	// The writer bodies run as run-to-completion continuations by default;
+	// REPRO_NO_CONT=1 restores the goroutine writers. Both engines schedule
+	// the same events in the same order.
+	if simkernel.ContEnabled() {
+		launchContWriters(fs, run, osts, ready, start)
+		return run, nil
+	}
 
 	// In SharedFile mode "rank 0" creates the file before its ready.Done();
 	// the start signal fires only after every writer is ready, so the

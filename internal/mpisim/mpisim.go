@@ -55,8 +55,55 @@ type World struct {
 	barrierArrived int
 	barrierWaiters []*simkernel.Proc
 
+	// freeDel recycles delivery events: a send in steady state reuses a
+	// fired event object instead of allocating a closure.
+	freeDel []*delivery
+
 	// Stats
 	MessagesSent int
+}
+
+// delivery is a recycled message-delivery event (simkernel.EventFirer):
+// sends schedule one of these instead of a closure, so steady-state
+// messaging allocates nothing beyond the payload's interface box.
+type delivery struct {
+	w   *World
+	dst *Rank
+	m   Message
+}
+
+// Fire hands the message to its destination. The event object returns to
+// the world's freelist before delivery runs, because delivery may itself
+// send (and so pop the freelist).
+//
+//repro:hotpath
+func (d *delivery) Fire() {
+	dst, m := d.dst, d.m
+	d.dst = nil
+	d.m = Message{}
+	d.w.freeDel = append(d.w.freeDel, d)
+	dst.deliver(m)
+}
+
+// send schedules delivery of one message after the world's latency.
+//
+//repro:hotpath
+func (w *World) send(from, to, tag int, data any) {
+	if to < 0 || to >= w.size {
+		panic(fmt.Sprintf("mpisim: Send to invalid rank %d (size %d)", to, w.size))
+	}
+	w.MessagesSent++
+	var d *delivery
+	if n := len(w.freeDel); n > 0 {
+		d = w.freeDel[n-1]
+		w.freeDel[n-1] = nil
+		w.freeDel = w.freeDel[:n-1]
+	} else {
+		d = &delivery{w: w}
+	}
+	d.dst = w.ranks[to]
+	d.m = Message{From: from, Tag: tag, Data: data}
+	w.k.AtEvent(w.k.Now()+w.latency, d)
 }
 
 // NewWorld creates a world with the given number of ranks on kernel k.
@@ -70,8 +117,10 @@ func NewWorld(k *simkernel.Kernel, size int, opt Options) *World {
 	}
 	w := &World{k: k, size: size, latency: simkernel.Time(lat), job: opt.Job}
 	w.ranks = make([]*Rank, size)
+	backing := make([]Rank, size)
 	for i := range w.ranks {
-		w.ranks[i] = &Rank{w: w, rank: i}
+		backing[i] = Rank{w: w, rank: i}
+		w.ranks[i] = &backing[i]
 	}
 	return w
 }
@@ -105,7 +154,8 @@ func (w *World) Launch(name string, fn func(r *Rank)) *simkernel.WaitGroup {
 // recvWaiter is a rank blocked in Recv with a match pattern.
 type recvWaiter struct {
 	from, tag int
-	delivered *Message // filled in by a matching Send before wakeup
+	msg       Message // filled in by a matching Send before wakeup
+	has       bool
 	proc      *simkernel.Proc
 	wake      func()
 }
@@ -123,6 +173,7 @@ type Rank struct {
 
 	queue   []Message
 	waiters []*recvWaiter
+	wfree   []*recvWaiter // recycled RecvAs waiter records
 }
 
 // Rank returns this rank's index.
@@ -142,21 +193,18 @@ func (r *Rank) Proc() *simkernel.Proc { return r.p }
 // latency. Send never blocks (buffered/eager semantics — the algorithm
 // messages in this codebase are all small control messages and indices).
 func (r *Rank) Send(to, tag int, data any) {
-	if to < 0 || to >= r.w.size {
-		panic(fmt.Sprintf("mpisim: Send to invalid rank %d (size %d)", to, r.w.size))
-	}
-	r.w.MessagesSent++
-	msg := Message{From: r.rank, Tag: tag, Data: data}
-	dst := r.w.ranks[to]
-	r.w.k.At(r.w.k.Now()+r.w.latency, func() { dst.deliver(msg) })
+	r.w.send(r.rank, to, tag, data)
 }
 
 // deliver runs in kernel context: hand the message to the oldest matching
 // waiter, or queue it.
+//
+//repro:hotpath
 func (dst *Rank) deliver(m Message) {
 	for i, w := range dst.waiters {
-		if w.delivered == nil && matches(w.from, w.tag, m) {
-			w.delivered = &m
+		if !w.has && matches(w.from, w.tag, m) {
+			w.msg = m
+			w.has = true
 			dst.waiters = append(dst.waiters[:i], dst.waiters[i+1:]...)
 			w.wake()
 			return
@@ -184,25 +232,30 @@ func (r *Rank) RecvAs(p *simkernel.Proc, from, tag int) Message {
 			return m
 		}
 	}
-	w := &recvWaiter{from: from, tag: tag, proc: p, wake: p.Waker()}
+	var w *recvWaiter
+	if n := len(r.wfree); n > 0 {
+		w = r.wfree[n-1]
+		r.wfree[n-1] = nil
+		r.wfree = r.wfree[:n-1]
+		*w = recvWaiter{from: from, tag: tag, proc: p, wake: p.Waker()}
+	} else {
+		w = &recvWaiter{from: from, tag: tag, proc: p, wake: p.Waker()}
+	}
 	r.waiters = append(r.waiters, w)
 	p.Suspend()
-	if w.delivered == nil {
+	if !w.has {
 		panic("mpisim: Recv woke without a message")
 	}
-	return *w.delivered
+	m := w.msg
+	*w = recvWaiter{}
+	r.wfree = append(r.wfree, w)
+	return m
 }
 
 // SendFrom delivers a message that reports rank `asFrom` as its sender —
 // used by helper-role processes that logically act as their host rank.
 func (r *Rank) SendFrom(asFrom, to, tag int, data any) {
-	if to < 0 || to >= r.w.size {
-		panic(fmt.Sprintf("mpisim: Send to invalid rank %d (size %d)", to, r.w.size))
-	}
-	r.w.MessagesSent++
-	msg := Message{From: asFrom, Tag: tag, Data: data}
-	dst := r.w.ranks[to]
-	r.w.k.At(r.w.k.Now()+r.w.latency, func() { dst.deliver(msg) })
+	r.w.send(asFrom, to, tag, data)
 }
 
 // TryRecv returns a matching queued message without blocking.
@@ -241,9 +294,7 @@ func (r *Rank) Barrier() {
 	waiters := w.barrierWaiters
 	w.barrierWaiters = nil
 	for _, p := range waiters {
-		p := p
-		wake := p.Waker()
-		w.k.At(w.k.Now()+delay, func() { wake() })
+		w.k.At(w.k.Now()+delay, p.Waker())
 	}
 	r.p.Sleep(time.Duration(delay))
 }

@@ -1,0 +1,437 @@
+package pfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simkernel"
+)
+
+// Continuation-side file system operations. Each blocking client call
+// (MDS.Op, OST.Write/Flush, File.Create/WriteAt/Flush/ReadAt/Close) has a
+// state-machine counterpart here that a simkernel.Cont body drives with
+// repeated Step calls: Step returns true when the operation has completed,
+// or arranges a wakeup, marks the process parked, and returns false — the
+// body must then yield with its program counter advanced past the op
+// (advance style; see simkernel/sync.go), because wakeups re-enter Step to
+// continue the same operation, never to restart it.
+//
+// Every machine schedules exactly the events its blocking counterpart
+// does, in the same order, with the same RNG draws — the engines are
+// bit-identical (pinned by TestContClientMatchesGoroutine). The op values
+// are designed for reuse: embed one per client, call Begin* to arm it, and
+// its scratch (chunk lists, OST lists) is recycled across operations.
+
+// mdsOp is one metadata operation in flight (the cont form of MDS.Op).
+type mdsOp struct {
+	pc int
+}
+
+// opCont drives one metadata operation for a continuation body: queueing at
+// the service resource, then the lognormal service time. The service draw
+// happens after the slot grant, exactly as in Op — queue order determines
+// draw order.
+//
+//repro:hotpath
+func (m *MDS) opCont(s *mdsOp, c *simkernel.ContProc) bool {
+	for {
+		switch s.pc {
+		case 0:
+			m.accountOp(c.Job())
+			s.pc = 1
+			if !m.res.AcquireCont(c) {
+				return false
+			}
+		case 1:
+			svc := m.src.LognormalMeanCV(m.mean, m.cv)
+			m.Stats.OpsServed++
+			m.Stats.TotalService += svc
+			if q := m.res.QueueLen(); q > m.Stats.MaxQueue {
+				m.Stats.MaxQueue = q
+			}
+			s.pc = 2
+			c.SleepSeconds(svc)
+			return false
+		default:
+			m.res.Release()
+			s.pc = 0
+			return true
+		}
+	}
+}
+
+// ostWrite is one blocking OST write in flight (the cont form of
+// OST.Write): the fixed per-operation latency, then ingest until the last
+// byte is accepted.
+type ostWrite struct {
+	pc    int
+	o     *OST
+	bytes float64
+}
+
+func (s *ostWrite) begin(o *OST, bytes float64) {
+	s.pc = 0
+	s.o = o
+	s.bytes = bytes
+}
+
+//repro:hotpath
+func (s *ostWrite) step(c *simkernel.ContProc) bool {
+	for {
+		switch s.pc {
+		case 0:
+			s.pc = 1
+			if s.o.cfg.WriteLatency > 0 {
+				c.Sleep(s.o.cfg.WriteLatency)
+				return false
+			}
+		case 1:
+			if s.bytes <= 0 {
+				s.pc = 0
+				return true
+			}
+			s.o.accountWrite(c.Job(), s.bytes)
+			s.o.StartWrite(s.bytes, 0, c.Waker())
+			s.pc = 2
+			c.Pause()
+			return false
+		default:
+			s.pc = 0
+			return true
+		}
+	}
+}
+
+// ostFlush is one blocking OST flush in flight (the cont form of
+// OST.Flush): wait until every byte ingested before the call has drained.
+type ostFlush struct {
+	pc int
+	o  *OST
+}
+
+func (s *ostFlush) begin(o *OST) {
+	s.pc = 0
+	s.o = o
+}
+
+//repro:hotpath
+func (s *ostFlush) step(c *simkernel.ContProc) bool {
+	switch s.pc {
+	case 0:
+		o := s.o
+		o.advance()
+		if o.cacheLevel <= completionEps {
+			return true
+		}
+		o.waiters = append(o.waiters, flushWaiter{watermark: o.ingestedTotal, wake: c.Waker()})
+		o.recompute()
+		s.pc = 1
+		c.Pause()
+		return false
+	default:
+		s.pc = 0
+		return true
+	}
+}
+
+// CreateOp is a metadata create in flight (the cont form of
+// FileSystem.Create). After Step returns true, File/Err hold the result.
+type CreateOp struct {
+	pc     int
+	fs     *FileSystem
+	name   string
+	osts   []int
+	stripe int64
+	mds    mdsOp
+	file   *File
+	err    error
+}
+
+// BeginCreate arms the op; drive it with Step until true.
+func (op *CreateOp) BeginCreate(fs *FileSystem, name string, layout Layout) {
+	op.pc = 0
+	op.fs = fs
+	op.name = name
+	op.file = nil
+	op.err = nil
+	op.layout(layout)
+}
+
+// layout resolves the layout at arm time, exactly where the blocking path
+// resolves it: before the MDS queueing, consuming the round-robin
+// allocation cursor in call order.
+func (op *CreateOp) layout(l Layout) {
+	op.osts, op.stripe, op.err = op.fs.resolveLayout(l)
+}
+
+// Step drives the create. On a layout error it completes immediately with
+// Err set and no MDS traffic, as the blocking path does.
+//
+//repro:hotpath
+func (op *CreateOp) Step(c *simkernel.ContProc) bool {
+	if op.err != nil {
+		return true
+	}
+	if !op.fs.MDS.opCont(&op.mds, c) {
+		return false
+	}
+	f := &File{
+		fs:      op.fs,
+		Name:    op.name,
+		osts:    op.osts,
+		stripe:  op.stripe,
+		touched: make(map[int]struct{}),
+	}
+	op.fs.files[op.name] = f
+	op.file = f
+	return true
+}
+
+// File returns the created handle (nil on error); valid after Step
+// returned true.
+func (op *CreateOp) File() *File { return op.file }
+
+// Err returns the create error, if any; valid after Step returned true.
+func (op *CreateOp) Err() error { return op.err }
+
+// OpenOp is a metadata open in flight (the cont form of FileSystem.Open).
+type OpenOp struct {
+	pc    int
+	fs    *FileSystem
+	name  string
+	found *File
+	mds   mdsOp
+	file  *File
+	err   error
+}
+
+// BeginOpen arms the op; drive it with Step until true.
+func (op *OpenOp) BeginOpen(fs *FileSystem, name string) {
+	op.pc = 0
+	op.fs = fs
+	op.name = name
+	op.found = fs.files[name]
+	op.file = nil
+	op.err = nil
+}
+
+// Step drives the open. Failed lookups still cost the MDS; the handle copy
+// is taken after the metadata op completes, exactly as in Open.
+//
+//repro:hotpath
+func (op *OpenOp) Step(c *simkernel.ContProc) bool {
+	if !op.fs.MDS.opCont(&op.mds, c) {
+		return false
+	}
+	if op.found == nil {
+		op.err = noSuchFile(op.name)
+		return true
+	}
+	h := *op.found
+	h.closed = false
+	op.file = &h
+	return true
+}
+
+// noSuchFile builds the open-failure error off the hot path.
+func noSuchFile(name string) error {
+	return fmt.Errorf("pfs: no such file %q", name)
+}
+
+// File returns the opened handle (nil on error); valid after Step
+// returned true.
+func (op *OpenOp) File() *File { return op.file }
+
+// Err returns the open error, if any; valid after Step returned true.
+func (op *OpenOp) Err() error { return op.err }
+
+// WriteOp is a striped write in flight (the cont form of File.WriteAt):
+// per-OST chunks issued sequentially, each a latency-plus-ingest machine.
+type WriteOp struct {
+	f       *File
+	offset  int64
+	length  int64
+	chunks  []chunk
+	i       int
+	started bool
+	w       ostWrite
+}
+
+// BeginWrite arms the op for a write of length bytes at offset; drive it
+// with Step until true. The chunk list reuses the op's scratch.
+func (op *WriteOp) BeginWrite(f *File, offset, length int64) {
+	if f.closed {
+		panic(fmt.Sprintf("pfs: write to closed file %q", f.Name))
+	}
+	if length < 0 {
+		panic("pfs: negative write length")
+	}
+	op.f = f
+	op.offset = offset
+	op.length = length
+	op.chunks = f.appendChunks(op.chunks[:0], offset, length)
+	op.i = 0
+	op.started = false
+}
+
+// BeginAppend arms the op for a write at the handle's current end and
+// returns the chosen offset.
+func (op *WriteOp) BeginAppend(f *File, length int64) int64 {
+	off := f.size
+	op.BeginWrite(f, off, length)
+	return off
+}
+
+// Step drives the write: chunks issue sequentially (a single client
+// stream), and the handle/master sizes update after the last byte is
+// accepted, exactly as in WriteAt.
+//
+//repro:hotpath
+func (op *WriteOp) Step(c *simkernel.ContProc) bool {
+	f := op.f
+	for op.i < len(op.chunks) {
+		if !op.started {
+			ch := op.chunks[op.i]
+			f.touched[ch.ost] = struct{}{}
+			op.w.begin(f.fs.OSTs[ch.ost], float64(ch.bytes))
+			op.started = true
+		}
+		if !op.w.step(c) {
+			return false
+		}
+		op.started = false
+		op.i++
+	}
+	if end := op.offset + op.length; end > f.size {
+		f.size = end
+	}
+	if master := f.fs.files[f.Name]; master != nil && f.size > master.size {
+		master.size = f.size
+	}
+	return true
+}
+
+// FlushOp is a flush in flight (the cont form of File.Flush): touched
+// targets waited on sequentially in sorted order.
+type FlushOp struct {
+	f       *File
+	osts    []int
+	i       int
+	started bool
+	w       ostFlush
+}
+
+// BeginFlush arms the op; drive it with Step until true. The OST list
+// reuses the op's scratch.
+func (op *FlushOp) BeginFlush(f *File) {
+	op.f = f
+	if cap(op.osts) < len(f.touched) {
+		op.osts = make([]int, 0, len(f.touched))
+	}
+	op.osts = op.osts[:0]
+	for o := range f.touched { //repro:allow nodeterm keys are sorted just below; visit order cannot affect results
+		op.osts = append(op.osts, o)
+	}
+	sort.Ints(op.osts)
+	op.i = 0
+	op.started = false
+}
+
+// Step drives the flush.
+//
+//repro:hotpath
+func (op *FlushOp) Step(c *simkernel.ContProc) bool {
+	for op.i < len(op.osts) {
+		if !op.started {
+			op.w.begin(op.f.fs.OSTs[op.osts[op.i]])
+			op.started = true
+		}
+		if !op.w.step(c) {
+			return false
+		}
+		op.started = false
+		op.i++
+	}
+	return true
+}
+
+// ReadOp is a read in flight (the cont form of File.ReadAt): per chunk,
+// the share-based rate is fixed at issue time — before the latency sleep —
+// then latency plus transfer.
+type ReadOp struct {
+	pc     int
+	f      *File
+	chunks []chunk
+	i      int
+	rate   float64
+}
+
+// BeginRead arms the op; drive it with Step until true. The chunk list
+// reuses the op's scratch.
+func (op *ReadOp) BeginRead(f *File, offset, length int64) {
+	op.pc = 0
+	op.f = f
+	op.chunks = f.appendChunks(op.chunks[:0], offset, length)
+	op.i = 0
+}
+
+// Step drives the read.
+//
+//repro:hotpath
+func (op *ReadOp) Step(c *simkernel.ContProc) bool {
+	f := op.f
+	for op.i < len(op.chunks) {
+		ch := op.chunks[op.i]
+		switch op.pc {
+		case 0:
+			o := f.fs.OSTs[ch.ost]
+			o.accountRead(c.Job(), float64(ch.bytes))
+			streams := o.ActiveFlows() + o.ExternalStreams() + 1
+			rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() / float64(streams)
+			if cap := f.fs.Cfg.ClientCap; rate > cap {
+				rate = cap
+			}
+			op.rate = rate
+			op.pc = 1
+			c.Sleep(f.fs.Cfg.WriteLatency)
+			return false
+		case 1:
+			op.pc = 2
+			c.SleepSeconds(float64(ch.bytes) / op.rate)
+			return false
+		default:
+			op.pc = 0
+			op.i++
+		}
+	}
+	return true
+}
+
+// CloseOp is a metadata close in flight (the cont form of File.Close). A
+// handle already closed completes inline with no MDS traffic.
+type CloseOp struct {
+	pc   int
+	f    *File
+	skip bool
+	mds  mdsOp
+}
+
+// BeginClose arms the op; drive it with Step until true.
+func (op *CloseOp) BeginClose(f *File) {
+	op.pc = 0
+	op.f = f
+	op.skip = f.closed
+	if !op.skip {
+		f.closed = true
+	}
+}
+
+// Step drives the close.
+//
+//repro:hotpath
+func (op *CloseOp) Step(c *simkernel.ContProc) bool {
+	if op.skip {
+		return true
+	}
+	return op.f.fs.MDS.opCont(&op.mds, c)
+}

@@ -219,13 +219,20 @@ type chunk struct {
 // approximately proportional; it exists to bound event counts on terabyte
 // writes and is bypassed for single-OST files).
 func (f *File) chunksFor(offset, length int64) []chunk {
+	return f.appendChunks(nil, offset, length)
+}
+
+// appendChunks is chunksFor appending into dst, reusing its capacity — the
+// continuation ops (cont.go) hold a scratch chunk list per client so
+// steady-state writes decompose without allocating.
+func (f *File) appendChunks(dst []chunk, offset, length int64) []chunk {
 	if length <= 0 {
-		return nil
+		return dst
 	}
 	if len(f.osts) == 1 {
-		return []chunk{{ost: f.osts[0], bytes: length}}
+		return append(dst, chunk{ost: f.osts[0], bytes: length})
 	}
-	var out []chunk
+	base := len(dst)
 	pos := offset
 	end := offset + length
 	for pos < end {
@@ -236,18 +243,19 @@ func (f *File) chunksFor(offset, length int64) []chunk {
 		}
 		o := f.ostForStripe(sIdx)
 		n := sEnd - pos
-		if len(out) > 0 && out[len(out)-1].ost == o {
-			out[len(out)-1].bytes += n
+		if len(dst) > base && dst[len(dst)-1].ost == o {
+			dst[len(dst)-1].bytes += n
 		} else {
-			out = append(out, chunk{ost: o, bytes: n})
+			dst = append(dst, chunk{ost: o, bytes: n})
 		}
 		pos = sEnd
 	}
 	max := f.fs.Cfg.MaxChunksPerOp
-	if max > 0 && len(out) > max {
-		out = coarsen(out, max)
+	if max > 0 && len(dst)-base > max {
+		coarse := coarsen(dst[base:], max)
+		dst = append(dst[:base], coarse...)
 	}
-	return out
+	return dst
 }
 
 // coarsen merges neighbouring chunks until at most max remain, assigning

@@ -66,7 +66,8 @@ type OST struct {
 	lastUpdate    simkernel.Time
 
 	boundary   simkernel.Timer
-	onBoundary func() //repro:reset-skip cached boundary callback, built once per OST
+	boundaryAt simkernel.Time // absolute deadline of the pending boundary timer
+	onBoundary func()         //repro:reset-skip cached boundary callback, built once per OST
 
 	// Replan cache: planValid is invalidated by any membership or knob
 	// change; while it holds and the cache-full regime is unchanged, a
@@ -124,6 +125,7 @@ func (o *OST) reset() {
 	o.effCache = o.cfg.CacheBytes
 	o.lastUpdate = o.k.Now()
 	o.boundary = simkernel.Timer{}
+	o.boundaryAt = 0
 	o.planValid = false
 	o.planCacheFull = false
 	o.planInflow = 0
@@ -432,11 +434,13 @@ func (o *OST) advance() {
 		panic("pfs: time went backwards")
 	}
 	if dt == 0 {
-		o.fireCompletions()
+		// Every advance ends with completions fired, and nothing changes
+		// between events at one timestamp, so there is nothing to scan for.
 		return
 	}
 
 	var inflow float64
+	anyDone := false
 	for _, f := range o.flows {
 		adv := f.rate * dt
 		if adv > f.remaining {
@@ -444,6 +448,9 @@ func (o *OST) advance() {
 		}
 		f.remaining -= adv
 		inflow += adv
+		if f.remaining <= completionEps {
+			anyDone = true
+		}
 	}
 	o.ingestedTotal += inflow
 
@@ -463,34 +470,37 @@ func (o *OST) advance() {
 		o.cacheLevel = 0
 	}
 
-	o.fireCompletions()
+	o.fireCompletions(anyDone)
 }
 
-// fireCompletions completes exhausted flows and satisfied flush waiters.
+// fireCompletions completes exhausted flows (only scanned when the caller's
+// integration pass saw one hit zero) and satisfied flush waiters.
 //
 //repro:hotpath
-func (o *OST) fireCompletions() {
-	keep := o.flows[:0]
-	for _, f := range o.flows {
-		if f.remaining <= completionEps {
-			o.Stats.WritesFinished++
-			done := f.done
-			*f = flow{}
-			o.freeFlows = append(o.freeFlows, f)
-			if done != nil {
-				done()
+func (o *OST) fireCompletions(anyDone bool) {
+	if anyDone {
+		keep := o.flows[:0]
+		for _, f := range o.flows {
+			if f.remaining <= completionEps {
+				o.Stats.WritesFinished++
+				done := f.done
+				*f = flow{}
+				o.freeFlows = append(o.freeFlows, f)
+				if done != nil {
+					done()
+				}
+			} else {
+				keep = append(keep, f)
 			}
-		} else {
-			keep = append(keep, f)
 		}
-	}
-	if len(keep) != len(o.flows) {
-		o.planValid = false
-		// Zero out the tail so recycled flows are not doubly referenced.
-		for i := len(keep); i < len(o.flows); i++ {
-			o.flows[i] = nil
+		if len(keep) != len(o.flows) {
+			o.planValid = false
+			// Zero out the tail so recycled flows are not doubly referenced.
+			for i := len(keep); i < len(o.flows); i++ {
+				o.flows[i] = nil
+			}
+			o.flows = keep
 		}
-		o.flows = keep
 	}
 
 	if len(o.waiters) > 0 {
@@ -517,9 +527,6 @@ func (o *OST) fireCompletions() {
 //
 //repro:hotpath
 func (o *OST) recompute() {
-	o.boundary.Cancel()
-	o.boundary = simkernel.Timer{}
-
 	var sumInflow, drain float64
 	if o.planValid && o.planCacheFull == (o.cacheLevel >= o.effCache-completionEps) {
 		sumInflow, drain = o.planInflow, o.drainRate
@@ -575,6 +582,8 @@ func (o *OST) recompute() {
 	}
 
 	if math.IsInf(next, 1) {
+		o.boundary.Cancel()
+		o.boundary = simkernel.Timer{}
 		return // quiescent
 	}
 	// Clamp to one virtual nanosecond: crossing times smaller than the
@@ -583,7 +592,15 @@ func (o *OST) recompute() {
 	if next < 1e-9 {
 		next = 1e-9
 	}
-	o.boundary = o.k.AfterSeconds(next, o.onBoundary)
+	// Flow-completion and watermark crossings are fixed absolute times:
+	// while rates hold, successive recomputes re-derive the same deadline.
+	// Keeping the pending timer then spares the queue a lazy-cancelled
+	// corpse and a reinsertion per recompute — the dominant event churn.
+	if at := o.k.Now() + simkernel.FromSeconds(next); !o.boundary.Active() || o.boundaryAt != at {
+		o.boundary.Cancel()
+		o.boundary = o.k.AfterSeconds(next, o.onBoundary)
+		o.boundaryAt = at
+	}
 }
 
 // String renders a compact diagnostic view.

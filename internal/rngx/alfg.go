@@ -128,6 +128,12 @@ const alfgCacheMax = 4096
 var alfgCache struct {
 	sync.Mutex
 	m map[int32]*[alfgLen]int64
+	// once records keys that have missed exactly once. A register is
+	// memoised only on its second miss: recurring streams (Table I rounds
+	// re-deriving the same per-OST keys) still get cached after one extra
+	// expansion, while one-shot keys (fresh per-replica seeds that derive
+	// every stream exactly once) no longer allocate a 4.9KB copy each.
+	once map[int32]struct{}
 }
 
 // Seed initialises the register to the same deterministic state
@@ -147,8 +153,18 @@ func (s *alfgSource) Seed(seed int64) {
 
 	s.expand(key)
 
-	v := s.vec
 	alfgCache.Lock()
+	if _, seen := alfgCache.once[key]; !seen {
+		if alfgCache.once == nil {
+			alfgCache.once = make(map[int32]struct{}, alfgCacheMax)
+		} else if len(alfgCache.once) >= alfgCacheMax {
+			clear(alfgCache.once)
+		}
+		alfgCache.once[key] = struct{}{}
+		alfgCache.Unlock()
+		return
+	}
+	v := s.vec
 	if alfgCache.m == nil {
 		alfgCache.m = make(map[int32]*[alfgLen]int64, alfgCacheMax)
 	} else if len(alfgCache.m) >= alfgCacheMax {

@@ -142,23 +142,30 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 		return Sample{}, err
 	}
 
-	var res *adios.StepResult
-	var stepErr error
+	var out campaignOut
 	stepName := fmt.Sprintf("%s.out", cfg.IO.Method)
-	j := w.Launch(func(r *cluster.Rank) {
-		f := io.Open(r, stepName)
-		f.WriteData(cfg.PerRank(r.Rank()))
-		rr, err := f.Close()
-		if err != nil {
-			stepErr = err
-			return
-		}
-		res = rr
-	})
-	c.RunUntilDone(j)
-	if stepErr != nil {
-		return Sample{}, stepErr
+	var j *cluster.Join
+	if simkernel.ContEnabled() && io.ContCapable() {
+		j = w.LaunchCont(func(i int) cluster.RankCont {
+			return &campaignCont{io: io, stepName: stepName, perRank: cfg.PerRank, out: &out}
+		})
+	} else {
+		j = w.Launch(func(r *cluster.Rank) {
+			f := io.Open(r, stepName)
+			f.WriteData(cfg.PerRank(r.Rank()))
+			rr, err := f.Close()
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.res = rr
+		})
 	}
+	c.RunUntilDone(j)
+	if out.err != nil {
+		return Sample{}, out.err
+	}
+	res := out.res
 	if !j.Done() || res == nil {
 		return Sample{}, fmt.Errorf("scenario: campaign did not complete")
 	}
@@ -368,8 +375,21 @@ func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, pool *cluster.Pool,
 	var last simkernel.Time
 	numOSTs := len(fs.OSTs)
 	stagger := cfg.stagger
+	useCont := simkernel.ContEnabled()
 	for i := 0; i < cfg.writers; i++ {
 		i := i
+		if useCont {
+			k.SpawnCont("opener", &stormOpener{
+				fs:      fs,
+				name:    fmt.Sprintf("storm.%06d", i),
+				ost:     i % numOSTs,
+				stagger: stagger > 0,
+				delay:   time.Duration(i) * stagger,
+				wg:      wg,
+				last:    &last,
+			})
+			continue
+		}
 		k.Spawn("opener", func(p *simkernel.Proc) {
 			defer wg.Done()
 			if stagger > 0 {
@@ -438,7 +458,11 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 		runs[ji] = run
 		w := c.NewJobWorld(jc.name, run.id, jc.procs)
 
+		// Each kind launches either its goroutine body or its continuation
+		// machine (cont.go) — same guards, same event schedule either way.
+		useCont := simkernel.ContEnabled()
 		var body func(r *cluster.Rank)
+		var mk func(i int) cluster.RankCont
 		switch jc.kind {
 		case JobKindApp:
 			perRank, err := generatorFor(jc.generator)
@@ -448,6 +472,16 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 			io, err := adios.NewIO(c, w, jc.transport.adiosOptions())
 			if err != nil {
 				return Sample{}, err
+			}
+			if useCont && io.ContCapable() {
+				names := appStepNames(jc.name, jc.phases)
+				mk = func(i int) cluster.RankCont {
+					return &jobAppCont{
+						phases: jc.phases, start: jc.start, period: jc.period,
+						io: io, names: names, perRank: perRank, errp: &run.err,
+					}
+				}
+				break
 			}
 			body = func(r *cluster.Rank) {
 				for ph := 0; ph < jc.phases; ph++ {
@@ -461,6 +495,18 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 				}
 			}
 		case JobKindMLRead:
+			if useCont {
+				mk = func(i int) cluster.RankCont {
+					// The dataset shard pre-exists the training run; its
+					// create is the job's only metadata cost.
+					return &jobMLReadCont{
+						phases: jc.phases, start: jc.start, period: jc.period,
+						fs: fs, name: fmt.Sprintf("%s.shard.%05d", jc.name, i),
+						ost: i % numOSTs, bytes: int64(jc.bytes), errp: &run.err,
+					}
+				}
+				break
+			}
 			body = func(r *cluster.Rank) {
 				p := r.Proc()
 				// The dataset shard pre-exists the training run; its
@@ -480,6 +526,16 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 				shard.Close(p)
 			}
 		case JobKindMDTest:
+			if useCont {
+				mk = func(i int) cluster.RankCont {
+					return &jobMDTestCont{
+						phases: jc.phases, files: jc.files, start: jc.start, period: jc.period,
+						fs: fs, job: jc.name, rank: i, numOSTs: numOSTs,
+						bytes: int64(jc.bytes), errp: &run.err,
+					}
+				}
+				break
+			}
 			body = func(r *cluster.Rank) {
 				p := r.Proc()
 				for ph := 0; ph < jc.phases; ph++ {
@@ -502,7 +558,12 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 			return Sample{}, fmt.Errorf("scenario: unknown job kind %q", jc.kind)
 		}
 
-		wgJob := w.MPI().Launch(jc.name, body)
+		var wgJob *simkernel.WaitGroup
+		if mk != nil {
+			wgJob = w.MPI().LaunchCont(jc.name, mk)
+		} else {
+			wgJob = w.MPI().Launch(jc.name, body)
+		}
 		k.Spawn("jobmix-watch", func(p *simkernel.Proc) {
 			wgJob.Wait(p)
 			run.end = p.Now()

@@ -1,0 +1,232 @@
+package simkernel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mixedWorkload drives one workload through both engines: n workers sleep,
+// contend on a capacity-2 resource, wait on a latched signal and a
+// wait-group, and log every step with its virtual time. The goroutine and
+// continuation renditions must produce the same log — same times, same
+// order — because every yield maps to the same scheduled events.
+type mixedLog struct{ lines []string }
+
+func (l *mixedLog) add(k *Kernel, who string, what string) {
+	l.lines = append(l.lines, fmt.Sprintf("%v %s %s", k.Now(), who, what))
+}
+
+func runMixedGoroutine(n int) []string {
+	k := New()
+	log := &mixedLog{}
+	res := NewResource(k, 2)
+	start := NewSignal(k)
+	done := NewWaitGroup(k)
+	done.Add(n)
+	k.Spawn("starter", func(p *Proc) {
+		p.Sleep(5 * time.Nanosecond)
+		start.Broadcast()
+	})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		k.SpawnJob(name, i+1, func(p *Proc) {
+			start.Wait(p)
+			log.add(k, p.Name(), "started")
+			p.Sleep(time.Duration(i % 3))
+			res.Acquire(p)
+			log.add(k, p.Name(), fmt.Sprintf("acquired job=%d", p.Job()))
+			p.SleepSeconds(1e-6)
+			res.Release()
+			p.SleepUntil(Time(10)) // in the past by now: no-op
+			log.add(k, p.Name(), "released")
+			done.Done()
+		})
+	}
+	k.Spawn("joiner", func(p *Proc) {
+		done.Wait(p)
+		log.add(k, "joiner", "all done")
+	})
+	k.Run()
+	k.Shutdown()
+	return log.lines
+}
+
+// mixedCont is the continuation rendition of the worker body above.
+type mixedCont struct {
+	pc    int
+	i     int
+	log   *mixedLog
+	res   *Resource
+	start *Signal
+	done  *WaitGroup
+}
+
+func (m *mixedCont) Step(c *ContProc) bool {
+	k := c.Kernel()
+	for {
+		switch m.pc {
+		case 0: // start.Wait (recall style)
+			if !m.start.WaitCont(c) {
+				return false
+			}
+			m.log.add(k, c.Name(), "started")
+			m.pc = 1
+			c.Sleep(time.Duration(m.i % 3))
+			return false
+		case 1: // res.Acquire (advance style)
+			m.pc = 2
+			if !m.res.AcquireCont(c) {
+				return false
+			}
+		case 2:
+			m.log.add(k, c.Name(), fmt.Sprintf("acquired job=%d", c.Job()))
+			m.pc = 3
+			c.SleepSeconds(1e-6)
+			return false
+		case 3:
+			m.res.Release()
+			m.pc = 4
+			if c.SleepUntil(Time(10)) { // in the past: no yield
+				return false
+			}
+		case 4:
+			m.log.add(k, c.Name(), "released")
+			m.done.Done()
+			return true
+		}
+	}
+}
+
+func runMixedCont(n int) []string {
+	k := New()
+	log := &mixedLog{}
+	res := NewResource(k, 2)
+	start := NewSignal(k)
+	done := NewWaitGroup(k)
+	done.Add(n)
+	k.Spawn("starter", func(p *Proc) {
+		p.Sleep(5 * time.Nanosecond)
+		start.Broadcast()
+	})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		k.SpawnContJob(name, i+1, &mixedCont{i: i, log: log, res: res, start: start, done: done})
+	}
+	k.Spawn("joiner", func(p *Proc) {
+		done.Wait(p)
+		log.add(k, "joiner", "all done")
+	})
+	k.Run()
+	k.Shutdown()
+	return log.lines
+}
+
+// TestContMatchesGoroutineEngine is the engine-equivalence pin at the
+// kernel level: the same workload, one rendition per engine, must produce
+// an identical execution log (same virtual times, same interleaving).
+func TestContMatchesGoroutineEngine(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 32} {
+		g := runMixedGoroutine(n)
+		c := runMixedCont(n)
+		if strings.Join(g, "\n") != strings.Join(c, "\n") {
+			t.Fatalf("n=%d: engines diverge\n--- goroutine ---\n%s\n--- continuation ---\n%s",
+				n, strings.Join(g, "\n"), strings.Join(c, "\n"))
+		}
+	}
+}
+
+// sleeperCont sleeps count times, then finishes.
+type sleeperCont struct {
+	left  int
+	after func()
+}
+
+func (s *sleeperCont) Step(c *ContProc) bool {
+	if s.left > 0 {
+		s.left--
+		c.Sleep(1)
+		return false
+	}
+	if s.after != nil {
+		s.after()
+	}
+	return true
+}
+
+// TestContResetRecyclesShells verifies Reset drops in-flight continuations
+// and recycles their shells: a steady spawn → run → reset cycle allocates
+// nothing once the freelist is warm.
+func TestContResetRecyclesShells(t *testing.T) {
+	k := New()
+	cycle := func() {
+		conts := make([]sleeperCont, 8)
+		for i := range conts {
+			conts[i].left = 3
+			k.SpawnCont("s", &conts[i])
+		}
+		k.RunUntil(2) // leaves every body mid-flight
+		k.Reset()
+	}
+	cycle()
+	if len(k.idleCont) != 8 {
+		t.Fatalf("idleCont after reset = %d, want 8", len(k.idleCont))
+	}
+	shell := k.idleCont[len(k.idleCont)-1]
+	k.SpawnCont("again", &sleeperCont{left: 1})
+	if got := k.procs[len(k.procs)-1]; got != shell {
+		t.Fatalf("SpawnCont did not recycle the freelist shell")
+	}
+	k.Reset()
+}
+
+// TestContBlockingCallPanics pins the guard: a continuation body that
+// reaches a goroutine-path blocking call must fail loudly, not deadlock.
+func TestContBlockingCallPanics(t *testing.T) {
+	k := New()
+	k.SpawnCont("bad", contFunc(func(c *ContProc) bool {
+		c.Proc().Sleep(1) // blocking call on a continuation
+		return true
+	}))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("blocking call on continuation did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "blocking call on continuation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	k.Run()
+}
+
+// contFunc adapts a plain function to Cont for tests.
+type contFunc func(c *ContProc) bool
+
+func (f contFunc) Step(c *ContProc) bool { return f(c) }
+
+// TestContProtocolViolationPanics pins the leak guard: returning false
+// without yielding is a protocol bug and must panic.
+func TestContProtocolViolationPanics(t *testing.T) {
+	k := New()
+	k.SpawnCont("leaky", contFunc(func(c *ContProc) bool { return false }))
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "without yielding") {
+			t.Fatalf("protocol violation panic missing, got %v", r)
+		}
+	}()
+	k.Run()
+}
+
+// BenchmarkContHandoff measures the continuation handoff cost per
+// sleep/wake cycle — the run-to-completion counterpart of
+// BenchmarkProcessHandoff. Steady state must be allocation-free.
+func BenchmarkContHandoff(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	k.SpawnCont("p", &sleeperCont{left: b.N})
+	b.ResetTimer()
+	k.Run()
+	k.Shutdown()
+}

@@ -12,12 +12,20 @@
 // reproducible.
 //
 // The event queue is engineered for an allocation-free steady state: a
-// monomorphic 4-ary min-heap of small value structs keyed by (time, sequence)
-// references event payloads held in a free-listed pool, process wakeups are
-// scheduled without closures, and Timer handles carry a generation tag so
-// cancelling a handle whose pool slot has been reused is a safe no-op.
-// Cancelled events are dropped lazily at pop time and compacted in bulk when
-// they outnumber half the queue.
+// calendar structure fronted by a monomorphic 4-ary min-heap of small value
+// structs keyed by (time, sequence) references event payloads held in a
+// free-listed pool (see calendar.go), process wakeups are scheduled without
+// closures, and Timer handles carry a generation tag so cancelling a handle
+// whose pool slot has been reused is a safe no-op. Cancelled events are
+// dropped lazily — at pop time in the near tier, wholesale at pour time in
+// the far tiers — and compacted in bulk when they outnumber half the queue.
+//
+// Simulation processes come in two flavours. A Proc is a goroutine under the
+// handoff discipline above. A continuation process (SpawnCont, cont.go) is a
+// run-to-completion state machine executed inline on the kernel thread: its
+// yields are ordinary scheduled events and its resume is a method call, so
+// the ~500 ns park/unpark channel round-trip disappears for bodies that can
+// be written as explicit state machines.
 package simkernel
 
 import (
@@ -65,14 +73,24 @@ func itemLess(a, b heapItem) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// eventRec is the pooled payload of a scheduled event. Exactly one of fire
-// and proc is set: proc is the closure-free fast path for waking a process.
+// eventRec is the pooled payload of a scheduled event. Exactly one of fire,
+// proc and ev is set: proc is the closure-free fast path for waking a
+// process, ev the closure-free path for a caller-recycled event object.
 type eventRec struct {
 	fire      func()
 	proc      *Proc
+	ev        EventFirer
 	gen       uint32 // bumped on every release; stale Timer handles miss
 	pending   bool   // scheduled and not yet fired or reclaimed
 	cancelled bool
+}
+
+// EventFirer is a pre-allocated scheduled callback: AtEvent carries the
+// object itself instead of a closure, so layers that recycle their event
+// records (message delivery, repeated timers) schedule without allocating.
+// Fire runs in kernel context, exactly like an At callback.
+type EventFirer interface {
+	Fire()
 }
 
 // compactMin is the queue length below which lazy-cancel compaction is not
@@ -117,10 +135,21 @@ type Kernel struct {
 	now Time
 	seq uint64
 
-	queue      []heapItem // 4-ary min-heap ordered by itemLess
-	pool       []eventRec // event payloads, indexed by heapItem.id
-	free       []int32    // reclaimed pool slots
-	nCancelled int        // cancelled events still sitting in queue
+	// The event queue is a two-tier calendar (calendar.go): queue is the
+	// near tier — a 4-ary min-heap ordered by itemLess holding everything
+	// earlier than farStart() — and buckets/overflow are the far tiers,
+	// unsorted and poured into the heap as the clock reaches them.
+	queue      []heapItem   // near tier: 4-ary min-heap ordered by itemLess
+	pool       []eventRec   // event payloads, indexed by heapItem.id
+	free       []int32      // reclaimed pool slots
+	nCancelled int          // cancelled events still sitting in any tier
+	buckets    [][]heapItem // far tier: calWidth-wide unsorted buckets
+	overflow   []heapItem   // far tier: beyond the calendar horizon
+	nFar       int          // total items across buckets
+	calBase    Time         // absolute time of buckets[0]'s left edge
+	calWidth   Time         // bucket span
+	calCur     int          // first bucket not yet poured
+	farEdge    Time         // cached calBase + calCur*calWidth (near/far boundary)
 
 	// yield is the handoff channel: a running process sends on it exactly
 	// once each time it parks or terminates, returning control to the
@@ -129,6 +158,7 @@ type Kernel struct {
 
 	procs      []*Proc
 	idle       []*Proc // recycled processes: goroutine parked, awaiting a new body
+	idleCont   []*Proc // recycled continuation processes (no goroutine to park)
 	nextProcID int
 
 	running  bool //repro:reset-skip only ever true inside RunUntil, which cannot overlap Reset
@@ -141,7 +171,7 @@ type Kernel struct {
 
 // New creates an empty kernel with the clock at zero.
 func New() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{yield: make(chan struct{}), calWidth: defaultCalWidth}
 }
 
 // Now returns the current virtual time.
@@ -169,17 +199,21 @@ func (k *Kernel) release(id int32) {
 	rec := &k.pool[id]
 	rec.fire = nil
 	rec.proc = nil
+	rec.ev = nil
 	rec.pending = false
 	rec.cancelled = false
 	rec.gen++
 	k.free = append(k.free, id)
 }
 
-// push inserts an item into the 4-ary heap.
+// heapPush inserts an item into the 4-ary heap q and returns the updated
+// slice. Standalone (not a Kernel method) so the calendar's pour path and the
+// property tests cross-checking the calendar against the plain heap share the
+// exact same code.
 //
 //repro:hotpath
-func (k *Kernel) push(it heapItem) {
-	q := append(k.queue, it)
+func heapPush(q []heapItem, it heapItem) []heapItem {
+	q = append(q, it) //repro:allow hotpath append-and-return idiom: the caller reassigns the returned slice, so ownership transfers back
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -189,14 +223,13 @@ func (k *Kernel) push(it heapItem) {
 		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
-	k.queue = q
+	return q
 }
 
-// siftDown restores heap order below position i.
+// heapSiftDown restores heap order below position i.
 //
 //repro:hotpath
-func (k *Kernel) siftDown(i int) {
-	q := k.queue
+func heapSiftDown(q []heapItem, i int) {
 	n := len(q)
 	it := q[i]
 	for {
@@ -220,24 +253,46 @@ func (k *Kernel) siftDown(i int) {
 	q[i] = it
 }
 
-// popMin removes and returns the earliest item. The queue must be non-empty.
+// heapPopMin removes and returns the earliest item. q must be non-empty.
 //
 //repro:hotpath
-func (k *Kernel) popMin() heapItem {
-	q := k.queue
+func heapPopMin(q []heapItem) ([]heapItem, heapItem) {
 	top := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	k.queue = q[:last]
+	q = q[:last]
 	if last > 0 {
-		k.siftDown(0)
+		heapSiftDown(q, 0)
 	}
+	return q, top
+}
+
+// heapify restores heap order over an arbitrary slice (Floyd's build-heap).
+//
+//repro:hotpath
+func heapify(q []heapItem) {
+	if len(q) > 1 {
+		// The deepest parent of a 4-ary heap sits at (n-2)/4.
+		for i := (len(q) - 2) / 4; i >= 0; i-- {
+			heapSiftDown(q, i)
+		}
+	}
+}
+
+// popMin removes and returns the earliest item of the near tier. ensureMin
+// must have reported a non-empty queue first.
+//
+//repro:hotpath
+func (k *Kernel) popMin() heapItem {
+	q, top := heapPopMin(k.queue)
+	k.queue = q
 	return top
 }
 
 // cancel marks the event (id, gen) cancelled if it is still the pending
-// occupant of its slot; the queue entry is dropped lazily. When cancelled
-// entries outnumber half the queue, the queue is compacted in one pass.
+// occupant of its slot; the queue entry is dropped lazily — at pop time in
+// the near tier, at pour time in the far tiers. When cancelled entries
+// outnumber half the queue, all tiers are compacted in one pass.
 //
 //repro:hotpath
 func (k *Kernel) cancel(id int32, gen uint32) {
@@ -250,13 +305,14 @@ func (k *Kernel) cancel(id int32, gen uint32) {
 	}
 	rec.cancelled = true
 	k.nCancelled++
-	if len(k.queue) >= compactMin && k.nCancelled > len(k.queue)/2 {
+	if n := k.eventCount(); n >= compactMin && k.nCancelled > n/2 {
 		k.compact()
 	}
 }
 
-// compact removes every cancelled entry from the queue and re-heapifies.
-// Pop order is unaffected: the heap order is a total order on (time, seq).
+// compact removes every cancelled entry from all tiers, re-heapifying the
+// near tier. Pop order is unaffected: the heap order is a total order on
+// (time, seq), and the far tiers are unordered until poured.
 //
 //repro:hotpath
 func (k *Kernel) compact() {
@@ -269,13 +325,33 @@ func (k *Kernel) compact() {
 		kept = append(kept, it)
 	}
 	k.queue = kept
-	k.nCancelled = 0
-	if len(kept) > 1 {
-		// The deepest parent of a 4-ary heap sits at (n-2)/4.
-		for i := (len(kept) - 2) / 4; i >= 0; i-- {
-			k.siftDown(i)
+	heapify(kept)
+	if k.nFar > 0 {
+		for b := k.calCur; b < len(k.buckets); b++ {
+			live := k.buckets[b][:0]
+			for _, it := range k.buckets[b] {
+				if k.pool[it.id].cancelled {
+					k.release(it.id)
+					k.nFar--
+					continue
+				}
+				live = append(live, it)
+			}
+			k.buckets[b] = live
 		}
 	}
+	if len(k.overflow) > 0 {
+		over := k.overflow[:0]
+		for _, it := range k.overflow {
+			if k.pool[it.id].cancelled {
+				k.release(it.id)
+				continue
+			}
+			over = append(over, it)
+		}
+		k.overflow = over
+	}
+	k.nCancelled = 0
 }
 
 // scheduleFn inserts a callback event at absolute time at (clamped to now)
@@ -292,7 +368,7 @@ func (k *Kernel) scheduleFn(at Time, fire func()) (int32, uint32) {
 	rec.pending = true
 	gen := rec.gen
 	k.seq++
-	k.push(heapItem{at: at, seq: k.seq, id: id})
+	k.enqueue(heapItem{at: at, seq: k.seq, id: id})
 	return id, gen
 }
 
@@ -310,7 +386,7 @@ func (k *Kernel) scheduleProc(at Time, p *Proc) {
 	rec.proc = p
 	rec.pending = true
 	k.seq++
-	k.push(heapItem{at: at, seq: k.seq, id: id})
+	k.enqueue(heapItem{at: at, seq: k.seq, id: id})
 }
 
 // At schedules fn to run in kernel context at absolute virtual time at.
@@ -320,6 +396,26 @@ func (k *Kernel) scheduleProc(at Time, p *Proc) {
 //repro:hotpath
 func (k *Kernel) At(at Time, fn func()) Timer {
 	id, gen := k.scheduleFn(at, fn)
+	return Timer{k: k, id: id, gen: gen}
+}
+
+// AtEvent schedules ev.Fire to run in kernel context at absolute virtual
+// time at (clamped to the present). It is At without the closure: the
+// caller owns ev and may recycle it once it has fired, so steady-state
+// scheduling through a caller-side freelist allocates nothing.
+//
+//repro:hotpath
+func (k *Kernel) AtEvent(at Time, ev EventFirer) Timer {
+	if at < k.now {
+		at = k.now
+	}
+	id := k.alloc()
+	rec := &k.pool[id]
+	rec.ev = ev
+	rec.pending = true
+	gen := rec.gen
+	k.seq++
+	k.enqueue(heapItem{at: at, seq: k.seq, id: id})
 	return Timer{k: k, id: id, gen: gen}
 }
 
@@ -362,7 +458,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	defer func() { k.running = false }() //repro:allow hotpath one closure per RunUntil call, amortised over the whole event loop
 
 	var fired uint64
-	for len(k.queue) > 0 {
+	for k.ensureMin() {
 		if k.queue[0].at > deadline {
 			break
 		}
@@ -373,7 +469,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 			k.release(top.id)
 			continue
 		}
-		fire, proc := rec.fire, rec.proc
+		fire, proc, ev := rec.fire, rec.proc, rec.ev
 		k.release(top.id)
 		k.now = top.at
 		fired++
@@ -382,6 +478,8 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		}
 		if proc != nil {
 			proc.resume(wakeRun)
+		} else if ev != nil {
+			ev.Fire()
 		} else {
 			fire()
 		}
@@ -396,8 +494,9 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 // remain queued.
 func (k *Kernel) Stop() { k.finished = true }
 
-// Pending reports the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending reports the number of queued (possibly cancelled) events across
+// all tiers.
+func (k *Kernel) Pending() int { return k.eventCount() }
 
 // procState tracks a process's lifecycle.
 type procState int
@@ -440,6 +539,12 @@ type Proc struct {
 	waker  func()        // lazily built, reused by every Waker call
 	body   func(p *Proc) // current body; re-armed on recycle
 	exited bool          // goroutine has returned; the Proc is dead
+
+	// Continuation engine (cont.go). A continuation process has no
+	// goroutine and no wake channel: isCont is set once at creation and
+	// cont holds the current state machine, stepped inline by resume.
+	isCont bool
+	cont   Cont // current continuation body; nil once done
 }
 
 // loop is the persistent goroutine behind a Proc: it waits to be armed,
@@ -547,9 +652,16 @@ func (k *Kernel) SpawnJob(name string, job int, fn func(p *Proc)) *Proc {
 }
 
 // resume hands control to the process and blocks (in kernel context) until
-// it parks or terminates.
+// it parks or terminates. For a continuation process this is an inline
+// method call — no channels, no goroutine switch.
+//
+//repro:hotpath
 func (p *Proc) resume(kind wakeKind) {
 	if p.state == procDone {
+		return
+	}
+	if p.isCont {
+		p.resumeCont(kind)
 		return
 	}
 	p.wake <- kind
@@ -560,6 +672,9 @@ func (p *Proc) resume(kind wakeKind) {
 // resumes when some event calls resume. A halt or shutdown wakeup unwinds
 // the body instead (running its deferred cleanup on the way out).
 func (p *Proc) park() {
+	if p.isCont {
+		panic("simkernel: blocking call on continuation process " + p.name)
+	}
 	p.state = procParked
 	p.k.yield <- struct{}{}
 	kind := <-p.wake
@@ -661,9 +776,15 @@ func (k *Kernel) Shutdown() {
 		k.idle[i] = nil
 	}
 	k.idle = k.idle[:0]
+	for i, p := range k.idleCont {
+		p.exited = true
+		k.idleCont[i] = nil
+	}
+	k.idleCont = k.idleCont[:0]
 }
 
 // exitProc terminates one process goroutine (no-op if already exited).
+// Continuation processes have no goroutine: they are simply marked dead.
 func (k *Kernel) exitProc(p *Proc) {
 	if p.exited {
 		return
@@ -672,6 +793,12 @@ func (k *Kernel) exitProc(p *Proc) {
 		// Impossible outside Run: a running process implies the kernel
 		// loop is blocked in resume.
 		panic("simkernel: process still running in Shutdown")
+	}
+	if p.isCont {
+		p.state = procDone
+		p.cont = nil
+		p.exited = true
+		return
 	}
 	p.wake <- wakeShutdown
 	<-k.yield
@@ -703,13 +830,26 @@ func (k *Kernel) Reset() {
 		if p.state == procRunning {
 			panic("simkernel: process still running in Reset")
 		}
+		if p.isCont {
+			// Continuation bodies hold no goroutine stack and run no
+			// deferred cleanup; dropping the state machine is the whole
+			// unwind.
+			p.state = procDone
+			p.cont = nil
+			continue
+		}
 		p.wake <- wakeHalt
 		<-k.yield
 	}
-	// Recycle every live goroutine onto the idle list.
+	// Recycle every live process: goroutines onto the idle list, dead
+	// continuation shells onto their own freelist.
 	for i, p := range k.procs {
 		if !p.exited {
-			k.idle = append(k.idle, p)
+			if p.isCont {
+				k.idleCont = append(k.idleCont, p)
+			} else {
+				k.idle = append(k.idle, p)
+			}
 		}
 		k.procs[i] = nil
 	}
@@ -720,11 +860,21 @@ func (k *Kernel) Reset() {
 	// stale. Slot identity never affects simulation order (events order by
 	// (time, sequence) only), so the rebuilt free-list order is harmless.
 	k.queue = k.queue[:0]
+	for i := range k.buckets {
+		k.buckets[i] = k.buckets[i][:0]
+	}
+	k.overflow = k.overflow[:0]
+	k.nFar = 0
+	k.calBase = 0
+	k.calWidth = defaultCalWidth
+	k.calCur = 0
+	k.farEdge = 0
 	k.free = k.free[:0]
 	for i := range k.pool {
 		rec := &k.pool[i]
 		rec.fire = nil
 		rec.proc = nil
+		rec.ev = nil
 		if rec.pending || rec.cancelled {
 			rec.pending = false
 			rec.cancelled = false

@@ -224,3 +224,65 @@ func (wg *WaitGroup) Wait(p *Proc) {
 		p.park()
 	}
 }
+
+// Continuation-side waits. Each mirrors its blocking counterpart's event
+// behaviour bit-exactly, in one of two shapes:
+//
+//   - Recall style (WaitCont on WaitGroup and Signal): when blocked, the
+//     primitive registers the process and returns false; the body yields
+//     with its program counter unchanged, so the wakeup re-enters the same
+//     call, which re-checks the condition — exactly the goroutine path's
+//     "for cond { register; park }" loop.
+//   - Advance style (AcquireCont): a false return still transfers state on
+//     wake (Release hands the slot to the woken waiter directly), so the
+//     body must advance its program counter past the call before yielding —
+//     re-calling after the wake would acquire twice.
+
+// WaitCont is Wait for a continuation body, recall style: it reports
+// whether the counter is zero, registering c as a waiter and marking it
+// parked otherwise. On false the body must yield and re-call on wake.
+//
+//repro:hotpath
+func (wg *WaitGroup) WaitCont(c *ContProc) bool {
+	if wg.count > 0 {
+		wg.waiters = append(wg.waiters, (*Proc)(c))
+		c.Pause()
+		return false
+	}
+	return true
+}
+
+// WaitCont is Wait for a continuation body, recall style: it reports
+// whether the signal has fired, registering c as a waiter and marking it
+// parked otherwise. On false the body must yield and re-call on wake (the
+// signal latches, so the re-call returns true).
+//
+//repro:hotpath
+func (s *Signal) WaitCont(c *ContProc) bool {
+	if s.fired {
+		return true
+	}
+	s.waiters = append(s.waiters, (*Proc)(c))
+	c.Pause()
+	return false
+}
+
+// AcquireCont is Acquire for a continuation body, advance style: it reports
+// whether a slot was taken inline. On false the process is queued and
+// marked parked; the wakeup from Release means the slot has been
+// transferred, so the body must advance past the acquire before yielding —
+// it must NOT re-call AcquireCont on wake.
+//
+//repro:hotpath
+func (r *Resource) AcquireCont(c *ContProc) bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return true
+	}
+	r.waiters = append(r.waiters, (*Proc)(c))
+	if len(r.waiters) > r.MaxQueue {
+		r.MaxQueue = len(r.waiters)
+	}
+	c.Pause()
+	return false
+}

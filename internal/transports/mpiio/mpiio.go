@@ -73,7 +73,8 @@ type stepState struct {
 	t0        simkernel.Time
 	t0Set     bool
 	returned  int
-	entries   [][]bp.VarEntry
+	dataOf    []iomethod.RankData // per rank; leaders rebuild index records from these
+	machines  []stepCont          // per rank, one backing array for the whole step
 	locals    []bp.LocalIndex
 	indexed   int
 	createErr error
@@ -161,7 +162,8 @@ func (m *Method) getStep(stepName string) *stepState {
 			files:     make([]*pfs.File, nFiles),
 			offsets:   make([]int64, W),
 			sizes:     make([]int64, W),
-			entries:   make([][]bp.VarEntry, W),
+			dataOf:    make([]iomethod.RankData, W),
+			machines:  make([]stepCont, W),
 			locals:    make([]bp.LocalIndex, nFiles),
 			arrivedWG: simkernel.NewWaitGroup(k),
 			createdWG: simkernel.NewWaitGroup(k),
@@ -248,8 +250,8 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 
 	// --- Timed phase: write the buffered block, flush. ---
 	f := st.files[cohort]
-	entries, total := iomethod.BuildEntries(rank, st.offsets[rank], data)
-	st.entries[rank] = entries
+	st.dataOf[rank] = data
+	total := data.TotalBytes()
 	f.WriteAt(p, st.offsets[rank], total)
 	if !m.cfg.NoFlush {
 		f.Flush(p)
@@ -263,21 +265,25 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	if leader {
 		st.writersWG[cohort].Wait(p)
 		li := bp.LocalIndex{File: fileName(stepName, cohort, m.cfg.SplitFiles)}
-		n := 0
+		n, nd := 0, 0
 		for i := lo; i < hi; i++ {
-			n += len(st.entries[i])
+			n += len(st.dataOf[i].Vars)
+			for _, v := range st.dataOf[i].Vars {
+				nd += len(v.Dims)
+			}
 		}
 		li.Entries = make([]bp.VarEntry, 0, n)
+		dims := make([]uint64, 0, nd)
 		for i := lo; i < hi; i++ {
-			li.Entries = append(li.Entries, st.entries[i]...)
+			li.Entries, dims = iomethod.AppendEntries(li.Entries, dims, i, st.offsets[i], st.dataOf[i])
 		}
 		li.Sort()
-		enc, err := li.Encode()
+		encLen, err := li.EncodedLen()
 		if err != nil {
 			return nil, err
 		}
-		f.Append(p, int64(len(enc)))
-		st.res.IndexBytes += float64(len(enc))
+		f.Append(p, int64(encLen))
+		st.res.IndexBytes += float64(encLen)
 		if !m.cfg.NoFlush {
 			f.Flush(p)
 		}

@@ -110,12 +110,12 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	f.WriteAt(p, 0, total)
 	li := bp.LocalIndex{File: name, Entries: entries}
 	li.Sort()
-	enc, err := li.Encode()
+	encLen, err := li.EncodedLen()
 	if err != nil {
 		return nil, err
 	}
-	f.Append(p, int64(len(enc)))
-	st.res.IndexBytes += float64(len(enc))
+	f.Append(p, int64(encLen))
+	st.res.IndexBytes += float64(encLen)
 	if !m.cfg.NoFlush {
 		f.Flush(p)
 	}

@@ -280,13 +280,13 @@ func (m *Method) spawnDrainer(st *stepState, nd *node, stepName string) {
 		li := &st.locals[nd.id]
 		li.File = st.names[nd.id]
 		li.Sort()
-		enc, err := li.Encode()
+		encLen, err := li.EncodedLen()
 		if err != nil {
 			panic(err)
 		}
 		f := st.files[nd.id]
-		f.Append(p, int64(len(enc)))
-		st.res.IndexBytes += float64(len(enc))
+		f.Append(p, int64(encLen))
+		st.res.IndexBytes += float64(encLen)
 		f.Flush(p)
 		f.Close(p)
 		st.drainWG.Done()

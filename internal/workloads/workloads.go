@@ -21,9 +21,32 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/iomethod"
 )
+
+// memoPerRank wraps a per-rank generator with a lazily filled cache. A
+// rank's RankData is a deterministic function of the rank alone and every
+// consumer treats it as immutable (iomethod.BuildEntries copies what it
+// keeps), so figure-scale drivers that replay the same workload across many
+// campaign replicas pay the generation cost once per rank instead of once
+// per replica. The mutex makes the cache safe for the parallel replica
+// runners; results are identical regardless of which worker fills an entry.
+func memoPerRank(gen func(rank int) iomethod.RankData) func(rank int) iomethod.RankData {
+	var mu sync.Mutex
+	cache := make(map[int]iomethod.RankData)
+	return func(rank int) iomethod.RankData {
+		mu.Lock()
+		d, ok := cache[rank]
+		if !ok {
+			d = gen(rank)
+			cache[rank] = d
+		}
+		mu.Unlock()
+		return d
+	}
+}
 
 // Pixie3DSize selects the paper's three Pixie3D configurations.
 type Pixie3DSize int
@@ -180,7 +203,7 @@ type Generator struct {
 func Pixie3DGen(size Pixie3DSize) Generator {
 	return Generator{
 		Name:            "pixie3d-" + size.String(),
-		PerRank:         func(rank int) iomethod.RankData { return Pixie3D(rank, size) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return Pixie3D(rank, size) }),
 		BytesPerProcess: size.BytesPerProcess(),
 	}
 }
@@ -189,7 +212,7 @@ func Pixie3DGen(size Pixie3DSize) Generator {
 func XGC1Gen() Generator {
 	return Generator{
 		Name:            "xgc1",
-		PerRank:         XGC1,
+		PerRank:         memoPerRank(XGC1),
 		BytesPerProcess: XGC1BytesPerProcess,
 	}
 }
@@ -198,7 +221,7 @@ func XGC1Gen() Generator {
 func S3DGen(bytesPerProcess int64) Generator {
 	return Generator{
 		Name:            "s3d",
-		PerRank:         func(rank int) iomethod.RankData { return S3D(rank, bytesPerProcess) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return S3D(rank, bytesPerProcess) }),
 		BytesPerProcess: bytesPerProcess,
 	}
 }
@@ -236,7 +259,7 @@ func GTCGen() Generator {
 	const size = 128 * 1024 * 1024
 	return Generator{
 		Name:            "gtc",
-		PerRank:         func(rank int) iomethod.RankData { return GTC(rank, size) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return GTC(rank, size) }),
 		BytesPerProcess: size,
 	}
 }
@@ -271,7 +294,7 @@ func GTSGen() Generator {
 	const size = 64 * 1024 * 1024
 	return Generator{
 		Name:            "gts",
-		PerRank:         func(rank int) iomethod.RankData { return GTS(rank, size) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return GTS(rank, size) }),
 		BytesPerProcess: size,
 	}
 }
@@ -307,7 +330,7 @@ func ChimeraGen() Generator {
 	const size = 10 * 1024 * 1024
 	return Generator{
 		Name:            "chimera",
-		PerRank:         func(rank int) iomethod.RankData { return Chimera(rank, size) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return Chimera(rank, size) }),
 		BytesPerProcess: size,
 	}
 }
@@ -346,7 +369,7 @@ func MLTrainGen() Generator {
 	const size = 64 * 1024 * 1024
 	return Generator{
 		Name:            "mltrain",
-		PerRank:         func(rank int) iomethod.RankData { return MLTrain(rank, size) },
+		PerRank:         memoPerRank(func(rank int) iomethod.RankData { return MLTrain(rank, size) }),
 		BytesPerProcess: size,
 	}
 }
@@ -375,7 +398,7 @@ func MDTest(rank int) iomethod.RankData {
 func MDTestGen() Generator {
 	return Generator{
 		Name:            "mdtest",
-		PerRank:         MDTest,
+		PerRank:         memoPerRank(MDTest),
 		BytesPerProcess: MDTestBytesPerFile,
 	}
 }
