@@ -47,6 +47,13 @@ type Config struct {
 	// (default 5µs).
 	MessageLatency time.Duration
 
+	// Failures scripts deterministic storage failures for the replica: OST
+	// crash/rebuild episodes and MDS stall windows at declared virtual
+	// times (see interference.FailureConfig). The zero value injects
+	// nothing — failure-free replicas are bit-identical to clusters built
+	// before the failure lifecycle existed.
+	Failures interference.FailureConfig
+
 	// WorldShape is a canonical description of the application structure
 	// that will run on this world (empty for the classic single-application
 	// experiments). It does not change simulation behaviour; it partitions
@@ -68,10 +75,24 @@ type Cluster struct {
 
 	artificial []*interference.Artificial
 
+	failures *interference.Failures
+
 	// noiseCache keeps the production-noise generator alive across Reset
 	// even through noise-off replicas, so a later noise-on replica on the
 	// same world re-arms it instead of rebuilding per-OST streams.
 	noiseCache *interference.Noise
+
+	// failCache does the same for the failure injector: cached event
+	// closures survive failure-free replicas and re-arm on the next
+	// failure script of the same episode count.
+	failCache *interference.Failures
+
+	// worldCache recycles mpisim worlds (rank shells, mailboxes, delivery
+	// freelists) across replicas: Reset rewinds the cursor and each
+	// NewWorld/NewJobWorld call re-arms the cached world at its position
+	// when the rank count matches, or rebuilds that slot when it doesn't.
+	worldCache  []*mpisim.World //repro:reset-skip recycled in place; Reset only rewinds worldCursor
+	worldCursor int
 
 	// key identifies the pool bucket this world was rented from (set by
 	// Pool.Rent; empty for worlds built outside a pool).
@@ -126,6 +147,9 @@ func fsConfigFor(m machines.Machine, cfg Config) pfs.Config {
 	if cfg.NumOSTs > 0 {
 		fsCfg.NumOSTs = cfg.NumOSTs
 	}
+	if cfg.Failures.Enabled && cfg.Failures.DeadTimeout > 0 {
+		fsCfg.DeadTimeout = cfg.Failures.DeadTimeout
+	}
 	return fsCfg
 }
 
@@ -157,6 +181,14 @@ func fromMachine(m machines.Machine, cfg Config) (*Cluster, error) {
 		c.noise = interference.Start(fs, noiseConfigFor(m, cfg))
 		c.noiseCache = c.noise
 	}
+	if cfg.Failures.Enabled {
+		f, err := interference.StartFailures(fs, cfg.Failures)
+		if err != nil {
+			return nil, err
+		}
+		c.failures = f
+		c.failCache = f
+	}
 	return c, nil
 }
 
@@ -179,6 +211,7 @@ func (c *Cluster) Reset(cfg Config) error {
 		return err
 	}
 	c.msgLat = cfg.MessageLatency
+	c.worldCursor = 0
 	for i := range c.artificial {
 		c.artificial[i] = nil
 	}
@@ -192,6 +225,21 @@ func (c *Cluster) Reset(cfg Config) error {
 			c.noiseCache = interference.Start(c.fs, noiseCfg)
 		}
 		c.noise = c.noiseCache
+	}
+	c.failures = nil
+	if cfg.Failures.Enabled {
+		if c.failCache != nil && c.failCache.CanReset(cfg.Failures) {
+			if err := c.failCache.Reset(cfg.Failures); err != nil {
+				return err
+			}
+		} else {
+			f, err := interference.StartFailures(c.fs, cfg.Failures)
+			if err != nil {
+				return err
+			}
+			c.failCache = f
+		}
+		c.failures = c.failCache
 	}
 	return nil
 }
@@ -231,13 +279,17 @@ func (c *Cluster) StartArtificialInterference(osts []int, procsPerOST int, chunk
 	return a
 }
 
-// StopInterference stops all artificial interference workloads.
+// StopInterference stops all artificial interference workloads, production
+// noise, and any remaining scripted failures.
 func (c *Cluster) StopInterference() {
 	for _, a := range c.artificial {
 		a.Stop()
 	}
 	if c.noise != nil {
 		c.noise.Stop()
+	}
+	if c.failures != nil {
+		c.failures.Stop()
 	}
 }
 
@@ -259,8 +311,32 @@ func (c *Cluster) NewWorld(ranks int) *World {
 	return &World{
 		c:    c,
 		name: "app",
-		w:    mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat}),
+		w:    c.mpiWorld(ranks, mpisim.Options{Latency: c.msgLat}),
 	}
+}
+
+// mpiWorld returns the next recycled mpisim world (Reset in place) when its
+// rank count matches, or builds one into that cache slot. World creation
+// order is deterministic per replica, so position-in-order is a stable
+// identity across Resets — the same reason the pool can reuse clusters.
+//
+//repro:hotpath
+func (c *Cluster) mpiWorld(ranks int, opt mpisim.Options) *mpisim.World {
+	if c.worldCursor < len(c.worldCache) {
+		w := c.worldCache[c.worldCursor]
+		c.worldCursor++
+		if w.Size() == ranks {
+			w.Reset(opt)
+			return w
+		}
+		w = mpisim.NewWorld(c.kernel, ranks, opt)
+		c.worldCache[c.worldCursor-1] = w
+		return w
+	}
+	w := mpisim.NewWorld(c.kernel, ranks, opt)
+	c.worldCache = append(c.worldCache, w)
+	c.worldCursor++
+	return w
 }
 
 // NewJobWorld creates a set of ranks for one application of a co-scheduled
@@ -272,7 +348,7 @@ func (c *Cluster) NewJobWorld(name string, job int, ranks int) *World {
 	return &World{
 		c:    c,
 		name: name,
-		w:    mpisim.NewWorld(c.kernel, ranks, mpisim.Options{Latency: c.msgLat, Job: job}),
+		w:    c.mpiWorld(ranks, mpisim.Options{Latency: c.msgLat, Job: job}),
 	}
 }
 

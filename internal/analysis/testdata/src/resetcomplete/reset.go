@@ -108,3 +108,38 @@ func (v valueReceiver) Reset() {}
 type unrelated struct {
 	a int
 }
+
+// healthState mimics a lifecycle enum (pfs.HealthState).
+type healthState int
+
+// lifecycle mimics the health-bearing OST shape: an enum state, per-state
+// accounting array, an armed timer handle, and cached event closures. All
+// of it is mutable run state the analyzer must see reset — except the
+// cached closures, which are rebuilt-free by design and must be waived.
+type lifecycle struct {
+	health     healthState
+	stateSecs  [4]float64
+	enteredAt  float64
+	transition func() //repro:reset-skip cached event closure, built once; reads config at fire time
+	factor     float64
+}
+
+func (l *lifecycle) Reset() {
+	l.health = 0
+	for i := range l.stateSecs {
+		l.stateSecs[i] = 0
+	}
+	l.enteredAt = 0
+	l.factor = 1
+}
+
+// lifecycleLeaky forgets the per-state accounting array — the exact bug a
+// recycled world would surface as time bleeding between replicas.
+type lifecycleLeaky struct {
+	health    healthState
+	stateSecs [4]float64
+}
+
+func (l *lifecycleLeaky) Reset() { // want `lifecycleLeaky.Reset: field stateSecs is not reset`
+	l.health = 0
+}

@@ -91,6 +91,27 @@ type (
 		TargetGroup int
 		Bytes       int64
 	}
+	// msgWriteFailed is a writer's report that its assigned write was
+	// abandoned with pfs.ErrTargetDown: the target was Dead past the
+	// client timeout. The triggering SC requeues the writer.
+	msgWriteFailed struct {
+		Writer      int
+		SourceGroup int
+		TargetGroup int
+	}
+	// msgAdaptiveFailed is the SC's forward of a failed adaptive write to
+	// C: the redirect target is dead, its request slot is released and the
+	// target blacklisted; the writer is already requeued at the SC.
+	msgAdaptiveFailed struct {
+		SourceGroup int
+		TargetGroup int
+	}
+	// msgRetryOwn is the SC's self-addressed backoff probe: clear the
+	// own-target-dead latch and try feeding the own file again. This is how
+	// the SC distinguishes "slow" from "dead" — a slow target completes its
+	// writes eventually, a dead one fails them, and the probe retries until
+	// the target has revived.
+	msgRetryOwn struct{}
 	// msgOverallComplete is C's OVERALL WRITE COMPLETE broadcast.
 	msgOverallComplete struct{}
 	// msgLocalIndex ships an SC's finished local index to C.
@@ -338,33 +359,44 @@ func (a *Adaptive) WriteStep(r *mpisim.Rank, stepName string, data iomethod.Rank
 
 // writerRole is Algorithm 1: wait for (target, offset); build the local
 // index from the offset; write; report completion to the triggering SC (and
-// the target SC if different); ship the index to the target SC.
+// the target SC if different); ship the index to the target SC. A write
+// abandoned with ErrTargetDown is reported to the triggering SC instead
+// (which requeues this writer for another assignment) and the writer goes
+// back to waiting — it finishes only when a write lands.
 func (a *Adaptive) writerRole(r *mpisim.Rank, st *stepState, rank, g int, data iomethod.RankData) error {
 	p := r.Proc()
-	m := r.RecvAs(p, mpisim.AnySource, tagToWriter)
-	go_ := m.Data.(msgWriteGo)
-
-	total := data.TotalBytes()
-	file := st.files[go_.TargetGroup]
-	file.WriteAt(p, go_.Offset, total)
-
-	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
-	st.res.TotalBytes += float64(total)
-	if go_.TargetGroup != g {
-		st.res.AdaptiveWrites++
-	}
-
 	triggeringSC := st.groups[g][0]
-	targetSC := st.groups[go_.TargetGroup][0]
-	done := msgWriteComplete{Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup, Bytes: total}
-	r.Send(triggeringSC, tagToSC, done)
-	if targetSC != triggeringSC {
-		r.Send(targetSC, tagToSC, done)
+	for {
+		m := r.RecvAs(p, mpisim.AnySource, tagToWriter)
+		go_ := m.Data.(msgWriteGo)
+
+		total := data.TotalBytes()
+		file := st.files[go_.TargetGroup]
+		if err := file.WriteAt(p, go_.Offset, total); err != nil {
+			st.res.WriteFailures++
+			r.Send(triggeringSC, tagToSC, msgWriteFailed{
+				Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup,
+			})
+			continue
+		}
+
+		st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
+		st.res.TotalBytes += float64(total)
+		if go_.TargetGroup != g {
+			st.res.AdaptiveWrites++
+		}
+
+		targetSC := st.groups[go_.TargetGroup][0]
+		done := msgWriteComplete{Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup, Bytes: total}
+		r.Send(triggeringSC, tagToSC, done)
+		if targetSC != triggeringSC {
+			r.Send(targetSC, tagToSC, done)
+		}
+		// The index travels separately and after the data, so its transfer
+		// overlaps the next writer's data (Section III-B.1).
+		r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Offset: go_.Offset})
+		return nil
 	}
-	// The index travels separately and after the data, so its transfer
-	// overlaps the next writer's data (Section III-B.1).
-	r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Offset: go_.Offset})
-	return nil
 }
 
 // spawnSC launches the sub-coordinator loop (Algorithm 2) as a helper
@@ -383,6 +415,12 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 		missingIndices := 0
 		scCompleteSent := false
 		loopDone := false
+		// ownDead latches when a write to our own file fails with
+		// ErrTargetDown: stop feeding the own file and probe again after a
+		// backoff (the timeout distinguishes dead from merely slow — slow
+		// writes complete, dead ones fail). Waiting writers remain available
+		// for adaptive redirection to healthy targets meanwhile.
+		ownDead := false
 		// Pre-size the index accumulation for the typical case — every
 		// member writes to its own group's file (st.dataOf is complete once
 		// start has broadcast). Adaptive redirection shifts writers between
@@ -399,6 +437,9 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 		indexDims := make([]uint64, 0, nD)
 
 		signalNext := func() {
+			if ownDead {
+				return
+			}
 			for activeOnMyFile < a.cfg.WritersPerTarget && len(waiting) > 0 {
 				wtr := waiting[0]
 				waiting = waiting[1:]
@@ -441,6 +482,30 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 				indexEntries, indexDims = iomethod.AppendEntries(
 					indexEntries, indexDims, msg.Writer, msg.Offset, st.dataOf[msg.Writer])
 				missingIndices--
+			case msgWriteFailed:
+				// The writer's assigned target died past its timeout:
+				// requeue the writer for another assignment.
+				waiting = append(waiting, msg.Writer)
+				if msg.TargetGroup == g {
+					// Our own target. Free the slot, latch ownDead, and
+					// schedule a retry probe one timeout from now.
+					activeOnMyFile--
+					if !ownDead {
+						ownDead = true
+						a.w.Kernel().AfterSeconds(a.fs.Cfg.DeadTimeout, func() {
+							r.SendFrom(r.Rank(), r.Rank(), tagToSC, msgRetryOwn{})
+						})
+					}
+				} else {
+					// A failed adaptive redirect: release C's request slot
+					// and let it blacklist the target (Algorithm 3 keeps the
+					// offset unchanged — nothing landed).
+					r.SendFrom(r.Rank(), coordRank, tagToC, msgAdaptiveFailed{
+						SourceGroup: g, TargetGroup: msg.TargetGroup,
+					})
+				}
+			case msgRetryOwn:
+				ownDead = false
 			case msgAdaptiveStart:
 				if len(waiting) == 0 {
 					r.SendFrom(r.Rank(), coordRank, tagToC, msgWritersBusy{Group: g, TargetGroup: msg.TargetGroup})
@@ -467,11 +532,17 @@ func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel
 			panic(err)
 		}
 		file := st.files[g]
-		file.Append(p, int64(encLen))
-		st.res.IndexBytes += float64(encLen)
-		// Explicit flush before close (the paper's measurement protocol).
-		file.Flush(p)
-		file.Close(p)
+		if _, aerr := file.Append(p, int64(encLen)); aerr != nil {
+			// The on-disk footer is lost with its target; the in-memory
+			// index still travels to C, so the data stays findable.
+			st.res.WriteFailures++
+			file.Close(p)
+		} else {
+			st.res.IndexBytes += float64(encLen)
+			// Explicit flush before close (the paper's measurement protocol).
+			file.Flush(p)
+			file.Close(p)
+		}
 		r.SendFrom(r.Rank(), coordRank, tagToC, msgLocalIndex{Group: g, Index: li})
 	})
 }
@@ -494,11 +565,12 @@ func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGro
 		st.start.Wait(p)
 
 		phase := make([]groupPhase, numGroups)
-		offsets := make([]int64, numGroups)  // file-end offsets, valid once complete
-		targetFree := make([]int, numGroups) // free write slots on completed targets
-		speed := make([]float64, numGroups)  // observed bandwidth per target (HistoryAware)
-		cursor := 0                          // rotation over SCs, to spread requests
-		outstanding := 0                     // in-flight adaptive requests
+		offsets := make([]int64, numGroups)   // file-end offsets, valid once complete
+		targetFree := make([]int, numGroups)  // free write slots on completed targets
+		deadTarget := make([]bool, numGroups) // targets blacklisted by a failed adaptive write
+		speed := make([]float64, numGroups)   // observed bandwidth per target (HistoryAware)
+		cursor := 0                           // rotation over SCs, to spread requests
+		outstanding := 0                      // in-flight adaptive requests
 		completes := 0
 		tStart := p.Now()
 
@@ -519,7 +591,7 @@ func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGro
 		idleTargets := func() []int {
 			var ts []int
 			for t := 0; t < numGroups; t++ {
-				if phase[t] == phaseComplete && targetFree[t] > 0 {
+				if phase[t] == phaseComplete && targetFree[t] > 0 && !deadTarget[t] {
 					ts = append(ts, t)
 				}
 			}
@@ -574,6 +646,15 @@ func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGro
 				targetFree[msg.TargetGroup]++
 				outstanding--
 				dispatch()
+			case msgAdaptiveFailed:
+				// The redirect target is dead: blacklist it (its slot is not
+				// returned — nothing can land there) and redispatch the
+				// requeued writer elsewhere. A dead target stays blacklisted
+				// for the rest of the step; the conservative choice costs at
+				// most the work it could have absorbed after reviving.
+				deadTarget[msg.TargetGroup] = true
+				outstanding--
+				dispatch()
 			case msgWritersBusy:
 				// Guard against the race where the SC completed (and we
 				// already marked it so) between our request and its refusal:
@@ -615,9 +696,14 @@ func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGro
 			if err != nil {
 				panic(err)
 			}
-			gf.WriteAt(p, 0, int64(encLen))
-			st.res.IndexBytes += float64(encLen)
-			gf.Flush(p)
+			if werr := gf.WriteAt(p, 0, int64(encLen)); werr != nil {
+				// Global index lost; the per-file indices (and res.Global)
+				// survive, matching the paper's interim deployment.
+				st.res.WriteFailures++
+			} else {
+				st.res.IndexBytes += float64(encLen)
+				gf.Flush(p)
+			}
 			gf.Close(p)
 		}
 	})

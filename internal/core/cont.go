@@ -132,6 +132,20 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 			if !s.write.Step(c) {
 				return false
 			}
+			if s.write.Err() != nil {
+				// Target down: report to the triggering SC (which requeues
+				// this writer) and go back to waiting for an assignment,
+				// mirroring the goroutine writerRole's retry loop.
+				st.res.WriteFailures++
+				s.r.Send(st.groups[s.g][0], tagToSC, msgWriteFailed{ //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+					Writer: s.rank, SourceGroup: s.g, TargetGroup: s.target,
+				})
+				s.pc = 5
+				if !s.r.RecvCont(&s.recv, c, mpisim.AnySource, tagToWriter) {
+					return false
+				}
+				continue
+			}
 			st.res.WriterTimes[s.rank] = (c.Now() - st.t0).Seconds()
 			st.res.TotalBytes += float64(s.total)
 			if s.target != s.g {

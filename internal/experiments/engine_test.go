@@ -119,3 +119,51 @@ func TestEngineBitIdenticalJobMix(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineBitIdenticalCombinedEscapeHatches pins the full escape-hatch
+// matrix: REPRO_NO_CONT (goroutine rank bodies) and REPRO_NO_REUSE (fresh
+// worlds per replica) composed together must still be bit-identical to the
+// default fast path — including with a failure script armed, so the health
+// lifecycle holds across engines and pooling alike.
+func TestEngineBitIdenticalCombinedEscapeHatches(t *testing.T) {
+	fsOpt := FailureSweepOptions{Procs: 16, Samples: 2, NumOSTs: 8, Seed: 23, Parallel: 2}
+	run := func(noCont, noReuse bool) (*Fig1Result, *FailureSweepResult) {
+		t.Helper()
+		set := func(env string, on bool) {
+			if on {
+				t.Setenv(env, "1")
+			} else {
+				t.Setenv(env, "")
+			}
+		}
+		set("REPRO_NO_CONT", noCont)
+		set("REPRO_NO_REUSE", noReuse)
+		f1, err := Fig1(Fig1Options{OSTs: 4, Ratios: []int{1, 4}, SizesMB: []float64{8}, Samples: 2, Seed: 23, Parallel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := FailureSweep(fsOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f1, fs
+	}
+	wantF1, wantFS := run(false, false)
+	for _, hatch := range []struct {
+		name            string
+		noCont, noReuse bool
+	}{
+		{"no-cont", true, false},
+		{"no-reuse", false, true},
+		{"no-cont+no-reuse", true, true},
+	} {
+		gotF1, gotFS := run(hatch.noCont, hatch.noReuse)
+		if !reflect.DeepEqual(gotF1.Samples, wantF1.Samples) {
+			t.Errorf("%s: Fig1 samples diverged from the default path", hatch.name)
+		}
+		if !reflect.DeepEqual(gotFS.Cases, wantFS.Cases) {
+			t.Errorf("%s: failure-sweep cases diverged from the default path:\n got %+v\nwant %+v",
+				hatch.name, gotFS.Cases, wantFS.Cases)
+		}
+	}
+}

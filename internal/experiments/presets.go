@@ -94,6 +94,19 @@ func JobMixPreset(mode string) (JobMixOptions, error) {
 	return JobMixOptions{}, nil
 }
 
+// FailureSweepPreset returns the failure-masking study for a preset mode.
+func FailureSweepPreset(mode string) (FailureSweepOptions, error) {
+	if err := checkMode(mode); err != nil {
+		return FailureSweepOptions{}, err
+	}
+	if mode == ModeQuick {
+		return FailureSweepOptions{Procs: 64, Samples: 3, NumOSTs: 16}, nil
+	}
+	return FailureSweepOptions{
+		Procs: 512, Samples: 5, NumOSTs: 84, // the eval grid's 1/8-scale Jaguar
+	}, nil
+}
+
 // MetadataPreset returns the open-storm study for a preset mode.
 func MetadataPreset(mode string) (MetadataOptions, error) {
 	if err := checkMode(mode); err != nil {

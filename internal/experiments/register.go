@@ -74,6 +74,18 @@ func init() {
 		Render: renderJobMix,
 	})
 	scenario.Register(scenario.Definition{
+		Name:        "failure-sweep",
+		Description: "Failure masking: scripted OST crash/rebuild under adaptive IO vs its work-shifting ablation",
+		Spec: func(mode string) (scenario.Scenario, error) {
+			opt, err := FailureSweepPreset(mode)
+			if err != nil {
+				return scenario.Scenario{}, err
+			}
+			return FailureSweepScenario(opt), nil
+		},
+		Render: renderFailureSweep,
+	})
+	scenario.Register(scenario.Definition{
 		Name:        "metadata",
 		Description: "Metadata open-storm study (future-work extension)",
 		Spec: func(mode string) (scenario.Scenario, error) {
@@ -180,6 +192,17 @@ func renderJobMix(res *scenario.Result, _ scenario.RunOptions) ([]scenario.Artif
 	text := r.Figure.Render() + "\n" + tbl.Render()
 	return []scenario.Artifact{{Name: "jobmix.txt", Text: text}},
 		[]string{JobMixLine(r)}, nil
+}
+
+func renderFailureSweep(res *scenario.Result, _ scenario.RunOptions) ([]scenario.Artifact, []string, error) {
+	r, err := failureSweepDemux(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := FailureSweepTable(r)
+	text := r.Figure.Render() + "\n" + tbl.Render()
+	return []scenario.Artifact{{Name: "failure-sweep.txt", Text: text}},
+		[]string{FailureSweepLine(r)}, nil
 }
 
 func renderEval(res *scenario.Result, name, title string) ([]scenario.Artifact, []string, error) {

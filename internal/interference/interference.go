@@ -449,10 +449,22 @@ func (n *Noise) apply(i int) {
 	if n.fs.K.Now() < m.hotUntil && m.hotFactor > 0 {
 		slow *= m.hotFactor
 	}
+	// Episode boundaries frequently recompute to the value already in
+	// force (a hot window expiring on an OST whose Markov state also just
+	// went idle, or a global redraw landing on the same clamp). Skip the
+	// setters then: each one advances flow accounting and replans the
+	// target, which is wasted work — and wasted event churn — when nothing
+	// changed.
 	o := n.fs.OST(i)
-	o.SetSlowFactor(slow)
-	o.SetIngestFactor(n.global)
-	o.SetExternalStreams(m.busyStreams)
+	if slow != o.SlowFactor() {
+		o.SetSlowFactor(slow)
+	}
+	if n.global != o.IngestFactor() {
+		o.SetIngestFactor(n.global)
+	}
+	if m.busyStreams != o.ExternalStreams() {
+		o.SetExternalStreams(m.busyStreams)
+	}
 }
 
 func (n *Noise) applyAll() {

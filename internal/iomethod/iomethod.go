@@ -67,6 +67,11 @@ type StepResult struct {
 	// (always zero for non-adaptive methods).
 	AdaptiveWrites int
 
+	// WriteFailures counts client write operations abandoned with
+	// pfs.ErrTargetDown (a storage target was Dead past its timeout). The
+	// adaptive method retries these elsewhere; baselines lose the data.
+	WriteFailures int
+
 	// Files is the number of data files produced.
 	Files int
 

@@ -85,20 +85,26 @@ func (m *iorWriter) Step(c *simkernel.ContProc) bool {
 			if !m.write.Step(c) {
 				return false
 			}
-			if cfg.Flush {
+			if m.write.Err() != nil {
+				// Target down: mirrors the goroutine writer — bytes lost,
+				// still close and join.
+				m.run.result.FailedWriters++
+				m.pc = 6
+			} else if cfg.Flush {
 				m.flushOp.BeginFlush(m.f)
 				m.pc = 5
 			} else {
+				m.run.result.TotalBytes += cfg.BytesPerWriter
 				m.pc = 6
 			}
 		case 5:
 			if !m.flushOp.Step(c) {
 				return false
 			}
+			m.run.result.TotalBytes += cfg.BytesPerWriter
 			m.pc = 6
 		case 6:
 			m.run.result.WriterTimes[m.i] = (c.Now() - m.t0).Seconds()
-			m.run.result.TotalBytes += cfg.BytesPerWriter
 			m.closeOp.BeginClose(m.f)
 			m.pc = 7
 		default:

@@ -64,6 +64,9 @@ type Result struct {
 	PerWriterBW []float64
 	// ImbalanceFactor is the slowest/fastest write-time ratio (Section II).
 	ImbalanceFactor float64
+	// FailedWriters counts writers whose write was abandoned with
+	// pfs.ErrTargetDown (their bytes are excluded from TotalBytes).
+	FailedWriters int
 }
 
 // summarize fills the derived fields from WriterTimes and TotalBytes.
@@ -213,12 +216,17 @@ func Launch(fs *pfs.FileSystem, cfg Config) (*Run, error) {
 			}
 
 			t0 := p.Now()
-			f.WriteAt(p, offset, int64(cfg.BytesPerWriter))
-			if cfg.Flush {
-				f.Flush(p)
+			if err := f.WriteAt(p, offset, int64(cfg.BytesPerWriter)); err != nil {
+				// Target down: this writer's bytes are lost; it still closes
+				// and joins so the run completes.
+				run.result.FailedWriters++
+			} else {
+				if cfg.Flush {
+					f.Flush(p)
+				}
+				run.result.TotalBytes += cfg.BytesPerWriter
 			}
 			run.result.WriterTimes[i] = (p.Now() - t0).Seconds()
-			run.result.TotalBytes += cfg.BytesPerWriter
 			f.Close(p)
 		})
 	}

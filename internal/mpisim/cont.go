@@ -11,8 +11,6 @@ package mpisim
 // schedule is identical either way.
 
 import (
-	"fmt"
-
 	"repro/internal/simkernel"
 )
 
@@ -48,13 +46,21 @@ func (s *rankShell) Step(c *simkernel.ContProc) bool {
 // the run-to-completion counterpart of Launch: same process names, same
 // spawn order, same completion wait group — so a workload launched either
 // way schedules the same events in the same order.
+//
+// The rank shells persist on the world and are rebound to the new bodies on
+// every call, so a recycled world (World.Reset) launches its next replica
+// without reallocating them. At most one LaunchCont batch may be in flight
+// per world at a time.
 func (w *World) LaunchCont(name string, mk func(i int) RankCont) *simkernel.WaitGroup {
 	wg := simkernel.NewWaitGroup(w.k)
 	wg.Add(w.size)
-	shells := make([]rankShell, w.size)
+	if w.shells == nil {
+		w.shells = make([]rankShell, w.size)
+	}
+	names := w.names(name)
 	for i := 0; i < w.size; i++ {
-		shells[i] = rankShell{r: w.ranks[i], body: mk(i), wg: wg}
-		w.k.SpawnContJob(fmt.Sprintf("%s[%d]", name, i), w.job, &shells[i])
+		w.shells[i] = rankShell{r: w.ranks[i], body: mk(i), wg: wg}
+		w.k.SpawnContJob(names[i], w.job, &w.shells[i])
 	}
 	return wg
 }

@@ -45,8 +45,8 @@ type Options struct {
 
 // World is a communicator: a fixed-size set of ranks sharing a kernel.
 type World struct {
-	k       *simkernel.Kernel
-	size    int
+	k       *simkernel.Kernel //repro:reset-skip identity: the kernel is Reset by its owner before World.Reset
+	size    int               //repro:reset-skip immutable: a world never changes rank count
 	latency simkernel.Time
 	job     int
 	ranks   []*Rank
@@ -57,7 +57,17 @@ type World struct {
 
 	// freeDel recycles delivery events: a send in steady state reuses a
 	// fired event object instead of allocating a closure.
-	freeDel []*delivery
+	freeDel []*delivery //repro:reset-skip freelist of inert fired events, deliberately kept across Reset
+
+	// shells are the persistent continuation rank shells, built by the
+	// first LaunchCont and rebound to fresh bodies on every later launch
+	// (one launch batch per world at a time).
+	shells []rankShell //repro:reset-skip rebound by the next LaunchCont; stale bodies are unreachable after kernel Reset
+
+	// procNames caches the "name[i]" process names the launches format, so
+	// a recycled world's replicas skip the per-rank Sprintf.
+	procNames   []string //repro:reset-skip immutable once formatted for procNameFor
+	procNameFor string   //repro:reset-skip cache key for procNames
 
 	// Stats
 	MessagesSent int
@@ -125,6 +135,47 @@ func NewWorld(k *simkernel.Kernel, size int, opt Options) *World {
 	return w
 }
 
+// Reset re-arms the world for a new replica on a kernel that has itself
+// been Reset: barrier state, message statistics and every rank's mailbox
+// are cleared, and the latency/job options retuned. The rank shells, the
+// delivery-event freelist and the receive-waiter freelists survive — a
+// Reset world runs its next replica bit-identically to a freshly built one
+// while recycling all of its steady-state allocations (the world-reuse
+// determinism contract, pinned by cluster's pool tests).
+//
+//repro:hotpath
+func (w *World) Reset(opt Options) {
+	lat := opt.Latency
+	if lat == 0 {
+		lat = 5 * time.Microsecond
+	}
+	w.latency = simkernel.Time(lat)
+	w.job = opt.Job
+	w.barrierGen = 0
+	w.barrierArrived = 0
+	for i := range w.barrierWaiters {
+		w.barrierWaiters[i] = nil
+	}
+	w.barrierWaiters = w.barrierWaiters[:0]
+	w.MessagesSent = 0
+	for _, r := range w.ranks {
+		r.p = nil
+		for i := range r.queue {
+			r.queue[i] = Message{}
+		}
+		r.queue = r.queue[:0]
+		// Waiters parked at reset time belong to processes the kernel
+		// Reset already unwound. Drop them without recycling: a
+		// continuation-side waiter is embedded in its RecvOp (not
+		// freelist-owned), and pushing it onto wfree would let a later
+		// RecvAs scribble over a machine the next replica reuses.
+		for i := range r.waiters {
+			r.waiters[i] = nil
+		}
+		r.waiters = r.waiters[:0]
+	}
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
@@ -134,15 +185,30 @@ func (w *World) Kernel() *simkernel.Kernel { return w.k }
 // Job returns the world's job attribution id (0 = unattributed).
 func (w *World) Job() int { return w.job }
 
+// names returns the cached per-rank process names for an application name,
+// formatting them only when the name changes (a world launches the same
+// application on every replica, so steady state reuses them).
+func (w *World) names(name string) []string {
+	if w.procNames == nil || w.procNameFor != name {
+		w.procNames = make([]string, w.size)
+		for i := range w.procNames {
+			w.procNames[i] = fmt.Sprintf("%s[%d]", name, i)
+		}
+		w.procNameFor = name
+	}
+	return w.procNames
+}
+
 // Launch spawns one simulation process per rank running fn. It returns a
 // WaitGroup that reaches zero when every rank's fn has returned; run the
 // kernel to drive them.
 func (w *World) Launch(name string, fn func(r *Rank)) *simkernel.WaitGroup {
 	wg := simkernel.NewWaitGroup(w.k)
 	wg.Add(w.size)
+	names := w.names(name)
 	for i := 0; i < w.size; i++ {
 		r := w.ranks[i]
-		w.k.SpawnJob(fmt.Sprintf("%s[%d]", name, i), w.job, func(p *simkernel.Proc) {
+		w.k.SpawnJob(names[i], w.job, func(p *simkernel.Proc) {
 			defer wg.Done()
 			r.p = p
 			fn(r)

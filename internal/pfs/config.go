@@ -113,6 +113,11 @@ type Config struct {
 	MDSServiceMean float64
 	MDSServiceCV   float64
 
+	// DeadTimeout is how long (seconds) a client operation against a Dead
+	// target hangs before it is abandoned with ErrTargetDown — the
+	// client-side RPC timeout. Scenario failure scripts override it.
+	DeadTimeout float64
+
 	// Seed drives all stochastic components derived from this file system.
 	Seed int64
 }
@@ -179,6 +184,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MDSServiceCV == 0 {
 		c.MDSServiceCV = 0.6
+	}
+	if c.DeadTimeout < 0 {
+		return fmt.Errorf("pfs: negative dead timeout")
+	}
+	if c.DeadTimeout == 0 {
+		c.DeadTimeout = 30
 	}
 	return nil
 }

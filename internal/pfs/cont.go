@@ -39,17 +39,24 @@ func (m *MDS) opCont(s *mdsOp, c *simkernel.ContProc) bool {
 		case 0:
 			m.accountOp(c.Job())
 			s.pc = 1
-			if !m.res.AcquireCont(c) {
+			if m.stallUntil > c.Now() {
+				m.Stats.StallSeconds += (m.stallUntil - c.Now()).Seconds()
+				c.SleepUntil(m.stallUntil)
 				return false
 			}
 		case 1:
+			s.pc = 2
+			if !m.res.AcquireCont(c) {
+				return false
+			}
+		case 2:
 			svc := m.src.LognormalMeanCV(m.mean, m.cv)
 			m.Stats.OpsServed++
 			m.Stats.TotalService += svc
 			if q := m.res.QueueLen(); q > m.Stats.MaxQueue {
 				m.Stats.MaxQueue = q
 			}
-			s.pc = 2
+			s.pc = 3
 			c.SleepSeconds(svc)
 			return false
 		default:
@@ -62,17 +69,20 @@ func (m *MDS) opCont(s *mdsOp, c *simkernel.ContProc) bool {
 
 // ostWrite is one blocking OST write in flight (the cont form of
 // OST.Write): the fixed per-operation latency, then ingest until the last
-// byte is accepted.
+// byte is accepted — or, against a Dead target, the configured timeout
+// followed by ErrTargetDown in err.
 type ostWrite struct {
 	pc    int
 	o     *OST
 	bytes float64
+	err   error
 }
 
 func (s *ostWrite) begin(o *OST, bytes float64) {
 	s.pc = 0
 	s.o = o
 	s.bytes = bytes
+	s.err = nil
 }
 
 //repro:hotpath
@@ -86,6 +96,11 @@ func (s *ostWrite) step(c *simkernel.ContProc) bool {
 				return false
 			}
 		case 1:
+			if s.o.health == Dead {
+				s.pc = 3
+				c.SleepSeconds(s.o.cfg.DeadTimeout)
+				return false
+			}
 			if s.bytes <= 0 {
 				s.pc = 0
 				return true
@@ -95,7 +110,12 @@ func (s *ostWrite) step(c *simkernel.ContProc) bool {
 			s.pc = 2
 			c.Pause()
 			return false
+		case 2:
+			s.pc = 0
+			return true
 		default:
+			s.o.Stats.WritesFailed++
+			s.err = s.o.downErr
 			s.pc = 0
 			return true
 		}
@@ -247,6 +267,8 @@ func (op *OpenOp) Err() error { return op.err }
 
 // WriteOp is a striped write in flight (the cont form of File.WriteAt):
 // per-OST chunks issued sequentially, each a latency-plus-ingest machine.
+// A chunk against a Dead target sets Err to ErrTargetDown after the
+// configured timeout and abandons the remaining chunks.
 type WriteOp struct {
 	f       *File
 	offset  int64
@@ -255,6 +277,7 @@ type WriteOp struct {
 	i       int
 	started bool
 	w       ostWrite
+	err     error
 }
 
 // BeginWrite arms the op for a write of length bytes at offset; drive it
@@ -272,6 +295,7 @@ func (op *WriteOp) BeginWrite(f *File, offset, length int64) {
 	op.chunks = f.appendChunks(op.chunks[:0], offset, length)
 	op.i = 0
 	op.started = false
+	op.err = nil
 }
 
 // BeginAppend arms the op for a write at the handle's current end and
@@ -299,6 +323,10 @@ func (op *WriteOp) Step(c *simkernel.ContProc) bool {
 		if !op.w.step(c) {
 			return false
 		}
+		if op.w.err != nil {
+			op.err = op.w.err
+			return true
+		}
 		op.started = false
 		op.i++
 	}
@@ -310,6 +338,9 @@ func (op *WriteOp) Step(c *simkernel.ContProc) bool {
 	}
 	return true
 }
+
+// Err returns the write error, if any; valid after Step returned true.
+func (op *WriteOp) Err() error { return op.err }
 
 // FlushOp is a flush in flight (the cont form of File.Flush): touched
 // targets waited on sequentially in sorted order.
@@ -364,6 +395,7 @@ type ReadOp struct {
 	chunks []chunk
 	i      int
 	rate   float64
+	err    error
 }
 
 // BeginRead arms the op; drive it with Step until true. The chunk list
@@ -373,6 +405,7 @@ func (op *ReadOp) BeginRead(f *File, offset, length int64) {
 	op.f = f
 	op.chunks = f.appendChunks(op.chunks[:0], offset, length)
 	op.i = 0
+	op.err = nil
 }
 
 // Step drives the read.
@@ -386,8 +419,13 @@ func (op *ReadOp) Step(c *simkernel.ContProc) bool {
 		case 0:
 			o := f.fs.OSTs[ch.ost]
 			o.accountRead(c.Job(), float64(ch.bytes))
+			if o.health == Dead {
+				op.pc = 3
+				c.Sleep(f.fs.Cfg.WriteLatency)
+				return false
+			}
 			streams := o.ActiveFlows() + o.ExternalStreams() + 1
-			rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() / float64(streams)
+			rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() * o.HealthFactor() / float64(streams)
 			if cap := f.fs.Cfg.ClientCap; rate > cap {
 				rate = cap
 			}
@@ -399,13 +437,26 @@ func (op *ReadOp) Step(c *simkernel.ContProc) bool {
 			op.pc = 2
 			c.SleepSeconds(float64(ch.bytes) / op.rate)
 			return false
-		default:
+		case 2:
 			op.pc = 0
 			op.i++
+		case 3:
+			op.pc = 4
+			c.SleepSeconds(f.fs.Cfg.DeadTimeout)
+			return false
+		default:
+			o := f.fs.OSTs[ch.ost]
+			o.Stats.ReadsFailed++
+			op.err = o.downErr
+			op.pc = 0
+			return true
 		}
 	}
 	return true
 }
+
+// Err returns the read error, if any; valid after Step returned true.
+func (op *ReadOp) Err() error { return op.err }
 
 // CloseOp is a metadata close in flight (the cont form of File.Close). A
 // handle already closed completes inline with no MDS traffic.

@@ -295,8 +295,10 @@ func coarsen(in []chunk, max int) []chunk {
 // WriteAt writes length bytes at offset, blocking the calling process until
 // every byte has been accepted by the storage targets. Chunks are issued
 // sequentially, modelling a single POSIX/MPI-IO client stream working
-// through its file region.
-func (f *File) WriteAt(p *simkernel.Proc, offset, length int64) {
+// through its file region. If a chunk's target is Dead the call returns
+// ErrTargetDown after the configured timeout; bytes already accepted by
+// earlier chunks stay accepted, but the handle's size is not advanced.
+func (f *File) WriteAt(p *simkernel.Proc, offset, length int64) error {
 	if f.closed {
 		panic(fmt.Sprintf("pfs: write to closed file %q", f.Name))
 	}
@@ -305,7 +307,9 @@ func (f *File) WriteAt(p *simkernel.Proc, offset, length int64) {
 	}
 	for _, c := range f.chunksFor(offset, length) {
 		f.touched[c.ost] = struct{}{}
-		f.fs.OSTs[c.ost].Write(p, float64(c.bytes))
+		if err := f.fs.OSTs[c.ost].Write(p, float64(c.bytes)); err != nil {
+			return err
+		}
 	}
 	if end := offset + length; end > f.size {
 		f.size = end
@@ -313,15 +317,15 @@ func (f *File) WriteAt(p *simkernel.Proc, offset, length int64) {
 	if master := f.fs.files[f.Name]; master != nil && f.size > master.size {
 		master.size = f.size
 	}
+	return nil
 }
 
 // Append writes length bytes at the file's current end (single-writer
 // convenience; concurrent appenders should coordinate offsets themselves as
 // the adaptive method does).
-func (f *File) Append(p *simkernel.Proc, length int64) int64 {
+func (f *File) Append(p *simkernel.Proc, length int64) (int64, error) {
 	off := f.size
-	f.WriteAt(p, off, length)
-	return off
+	return off, f.WriteAt(p, off, length)
 }
 
 // Flush blocks until all bytes this handle has written are on disk. Targets
@@ -351,22 +355,31 @@ func (f *File) Close(p *simkernel.Proc) {
 // ReadAt models reading length bytes at offset. Reads bypass the write
 // cache and share disk bandwidth with ongoing writes; the model is coarse
 // (rate fixed at issue time per chunk) since the paper's experiments are
-// write-dominated.
-func (f *File) ReadAt(p *simkernel.Proc, offset, length int64) {
+// write-dominated. A chunk against a Dead target hangs for the configured
+// timeout and returns ErrTargetDown; a Degraded or Rebuilding target serves
+// the read at its health-reduced bandwidth.
+func (f *File) ReadAt(p *simkernel.Proc, offset, length int64) error {
 	if length <= 0 {
-		return
+		return nil
 	}
 	for _, c := range f.chunksFor(offset, length) {
 		o := f.fs.OSTs[c.ost]
 		o.accountRead(p.Job(), float64(c.bytes))
+		if o.Health() == Dead {
+			p.Sleep(f.fs.Cfg.WriteLatency)
+			p.SleepSeconds(f.fs.Cfg.DeadTimeout)
+			o.Stats.ReadsFailed++
+			return o.downErr
+		}
 		streams := o.ActiveFlows() + o.ExternalStreams() + 1
-		rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() / float64(streams)
+		rate := f.fs.Cfg.DiskBW * f.fs.Cfg.DiskEff.Eval(streams) * o.SlowFactor() * o.HealthFactor() / float64(streams)
 		if cap := f.fs.Cfg.ClientCap; rate > cap {
 			rate = cap
 		}
 		p.Sleep(f.fs.Cfg.WriteLatency)
 		p.SleepSeconds(float64(c.bytes) / rate)
 	}
+	return nil
 }
 
 // TotalBytesDrained sums drained bytes across all OSTs (diagnostics).

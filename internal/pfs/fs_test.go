@@ -238,9 +238,13 @@ func TestAppendAdvancesOffset(t *testing.T) {
 	var offs []int64
 	k.Spawn("w", func(p *simkernel.Proc) {
 		f, _ := fs.Create(p, "log", Layout{OSTs: []int{0}})
-		offs = append(offs, f.Append(p, 100))
-		offs = append(offs, f.Append(p, 50))
-		offs = append(offs, f.Append(p, 25))
+		for _, n := range []int64{100, 50, 25} {
+			off, err := f.Append(p, n)
+			if err != nil {
+				t.Errorf("Append(%d): %v", n, err)
+			}
+			offs = append(offs, off)
+		}
 	})
 	k.Run()
 	k.Shutdown()

@@ -1,0 +1,109 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HealthState is the lifecycle state of a storage component (OST or MDS).
+// Transitions are driven deterministically by the failure injector
+// (internal/interference) through kernel-scheduled events:
+//
+//	Healthy → Degraded → Dead → Rebuilding → Healthy
+//
+// Healthy and Degraded serve I/O normally (Degraded at a reduced disk
+// bandwidth); Dead serves nothing — in-flight operations stall until the
+// target revives (the Lustre client-blocking behaviour) and newly issued
+// operations hang for the configured DeadTimeout and then fail with
+// ErrTargetDown; Rebuilding serves I/O while the rebuild consumes a
+// configured fraction of the backend bandwidth.
+type HealthState int
+
+const (
+	Healthy HealthState = iota
+	Degraded
+	Dead
+	Rebuilding
+	// NumHealthStates sizes per-state accounting arrays.
+	NumHealthStates
+)
+
+// String renders the state name.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	case Rebuilding:
+		return "rebuilding"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(h))
+}
+
+// ErrTargetDown is the sentinel all target-down failures unwrap to: check
+// for it with errors.Is(err, pfs.ErrTargetDown).
+var ErrTargetDown = errors.New("pfs: storage target down")
+
+// TargetDownError is the typed failure a client operation returns when its
+// storage target is Dead: the request hung for the configured DeadTimeout
+// and was abandoned. It unwraps to ErrTargetDown.
+type TargetDownError struct {
+	OST int
+}
+
+// Error implements error.
+func (e *TargetDownError) Error() string {
+	return fmt.Sprintf("pfs: OST %d is down (request timed out)", e.OST)
+}
+
+// Unwrap makes errors.Is(err, ErrTargetDown) true for every TargetDownError.
+func (e *TargetDownError) Unwrap() error { return ErrTargetDown }
+
+// Health returns the OST's current lifecycle state.
+func (o *OST) Health() HealthState { return o.health }
+
+// HealthFactor returns the health-driven disk-bandwidth multiplier in
+// (0, 1]; 1 while Healthy, the configured rebuild-tax complement while
+// Rebuilding. It composes multiplicatively with the interference-driven
+// SlowFactor.
+func (o *OST) HealthFactor() float64 { return o.healthFactor }
+
+// SetHealth transitions the OST's lifecycle state. factor is the disk-
+// bandwidth multiplier the new state imposes (clamped to (0, 1]; ignored
+// while Dead — a dead target serves nothing regardless). In-flight flows
+// are re-planned under the new state: they stall while Dead and resume when
+// the target revives.
+func (o *OST) SetHealth(h HealthState, factor float64) {
+	if factor <= 0 {
+		factor = 1e-3
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	if h == Dead {
+		factor = 1
+	}
+	if h == o.health && factor == o.healthFactor {
+		return
+	}
+	o.advance()
+	now := o.k.Now()
+	o.stateSecs[o.health] += (now - o.stateSince).Seconds()
+	o.stateSince = now
+	o.health = h
+	o.healthFactor = factor
+	o.planValid = false
+	o.recompute()
+}
+
+// HealthSeconds returns the cumulative residence time in each lifecycle
+// state (seconds), including the in-progress state up to now. Index with
+// HealthState values.
+func (o *OST) HealthSeconds() [NumHealthStates]float64 {
+	s := o.stateSecs
+	s[o.health] += (o.k.Now() - o.stateSince).Seconds()
+	return s
+}

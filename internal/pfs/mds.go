@@ -10,6 +10,7 @@ type MDSStats struct {
 	OpsServed    int
 	MaxQueue     int
 	TotalService float64 // seconds of service time dispensed
+	StallSeconds float64 // client wait attributable to MDS stall windows
 }
 
 // MDS models the metadata server: a bounded-concurrency FIFO service point
@@ -26,7 +27,11 @@ type MDS struct {
 	// jobOps counts metadata operations per job id (index 0 =
 	// unattributed); see jobacct.go.
 	jobOps []int
-	Stats  MDSStats
+	// stallUntil gates operation intake during an injected stall/failover
+	// window (the MDS health story): requests arriving before it wait until
+	// it passes. Zero (the zero-failure case) adds no events.
+	stallUntil simkernel.Time
+	Stats      MDSStats
 }
 
 func newMDS(k *simkernel.Kernel, cfg *Config, src *rngx.Source) *MDS {
@@ -51,13 +56,26 @@ func (m *MDS) reset(cfg *Config, seed int64) {
 		m.jobOps[i] = 0
 	}
 	m.jobOps = m.jobOps[:0]
+	m.stallUntil = 0
 	m.Stats = MDSStats{}
 }
+
+// Stall blocks metadata intake until the given absolute time: requests
+// arriving inside the window queue behind it (an MDS failover pause). A
+// later Stall extends the window; reviving early is done with Stall(0).
+func (m *MDS) Stall(until simkernel.Time) { m.stallUntil = until }
+
+// StallUntil reports the current stall window's end (zero when none).
+func (m *MDS) StallUntil() simkernel.Time { return m.stallUntil }
 
 // Op performs one metadata operation (open, create, stat, close) on behalf
 // of process p, blocking for queueing plus service time.
 func (m *MDS) Op(p *simkernel.Proc) {
 	m.accountOp(p.Job())
+	if m.stallUntil > m.k.Now() {
+		m.Stats.StallSeconds += (m.stallUntil - m.k.Now()).Seconds()
+		p.SleepUntil(m.stallUntil)
+	}
 	m.res.Acquire(p)
 	svc := m.src.LognormalMeanCV(m.mean, m.cv)
 	m.Stats.OpsServed++

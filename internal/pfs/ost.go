@@ -37,6 +37,10 @@ type OSTStats struct {
 	WritesStarted  int
 	WritesFinished int
 	MaxConcurrency int
+	// WritesFailed and ReadsFailed count client operations abandoned with
+	// ErrTargetDown because this target was Dead.
+	WritesFailed int
+	ReadsFailed  int
 }
 
 // OST models one object storage target as a fluid-flow server with a
@@ -56,6 +60,13 @@ type OST struct {
 	extStreams   int     // competing external write streams on this target
 	slowFactor   float64 // disk-side degradation multiplier in (0,1]
 	ingestFactor float64 // network/OSS-side degradation multiplier in (0,1]
+
+	// Health lifecycle (driven by the failure injector; see health.go).
+	health       HealthState
+	healthFactor float64                  // health-driven disk multiplier in (0,1]
+	stateSince   simkernel.Time           // when the current health state was entered
+	stateSecs    [NumHealthStates]float64 // completed residence time per state, seconds
+	downErr      error                    //repro:reset-skip immutable identity error, built at construction
 
 	// Fluid state, valid as of lastUpdate.
 	cacheLevel    float64 // dirty bytes in cache
@@ -91,6 +102,8 @@ type OST struct {
 
 func newOST(k *simkernel.Kernel, cfg *Config, id int) *OST {
 	o := &OST{ID: id, k: k, cfg: cfg, slowFactor: 1, ingestFactor: 1,
+		healthFactor: 1, stateSince: k.Now(),
+		downErr:  &TargetDownError{OST: id},
 		effCache: cfg.CacheBytes, lastUpdate: k.Now()}
 	o.onBoundary = func() {
 		o.boundary = simkernel.Timer{}
@@ -118,6 +131,12 @@ func (o *OST) reset() {
 	o.extStreams = 0
 	o.slowFactor = 1
 	o.ingestFactor = 1
+	o.health = Healthy
+	o.healthFactor = 1
+	o.stateSince = o.k.Now()
+	for i := range o.stateSecs {
+		o.stateSecs[i] = 0
+	}
 	o.cacheLevel = 0
 	o.ingestedTotal = 0
 	o.drainedTotal = 0
@@ -239,20 +258,28 @@ func (o *OST) StartWrite(bytes float64, streamCap float64, done func()) {
 }
 
 // Write blocks the calling process until bytes have been accepted by the
-// OST (cache or disk). It includes the fixed per-operation latency.
+// OST (cache or disk). It includes the fixed per-operation latency. If the
+// target is Dead when the request arrives, the call hangs for the
+// configured DeadTimeout and returns ErrTargetDown.
 //
 //repro:hotpath
-func (o *OST) Write(p *simkernel.Proc, bytes float64) {
+func (o *OST) Write(p *simkernel.Proc, bytes float64) error {
 	if o.cfg.WriteLatency > 0 {
 		p.Sleep(o.cfg.WriteLatency)
 	}
+	if o.health == Dead {
+		p.SleepSeconds(o.cfg.DeadTimeout)
+		o.Stats.WritesFailed++
+		return o.downErr
+	}
 	if bytes <= 0 {
-		return
+		return nil
 	}
 	o.accountWrite(p.Job(), bytes)
 	wake := p.Waker()
 	o.StartWrite(bytes, 0, wake)
 	p.Suspend()
+	return nil
 }
 
 // Flush blocks the calling process until every byte ingested by this OST
@@ -290,10 +317,13 @@ func (o *OST) plan() (sumInflow, drain float64) {
 		streams = 1
 	}
 
-	// Total disk bandwidth under the current interleave level and transient
-	// slowness; our share is proportional to our stream presence (a lone
-	// drainer still competes with external streams).
-	d := o.cfg.DiskBW * o.effDisk(streams) * o.slowFactor
+	// Total disk bandwidth under the current interleave level, transient
+	// slowness, and health state (a Rebuilding target's rebuild traffic
+	// taxes the disk through healthFactor < 1; Healthy is exactly 1, so the
+	// zero-failure plan is bit-identical to the pre-health model); our share
+	// is proportional to our stream presence (a lone drainer still competes
+	// with external streams).
+	d := o.cfg.DiskBW * o.effDisk(streams) * o.slowFactor * o.healthFactor
 	drainWeight := float64(n)
 	if drainWeight < 1 {
 		drainWeight = 1
@@ -308,6 +338,17 @@ func (o *OST) plan() (sumInflow, drain float64) {
 
 	o.planValid = true
 	o.planCacheFull = o.cacheLevel >= o.effCache-completionEps
+
+	if o.health == Dead {
+		// A dead target neither accepts nor drains bytes: in-flight flows
+		// stall at rate zero and resume when the target revives, like
+		// Lustre clients blocking on a failed OST.
+		for _, f := range o.flows {
+			f.rate = 0
+		}
+		o.planInflow = 0
+		return 0, 0
+	}
 
 	if n == 0 {
 		o.planInflow = 0

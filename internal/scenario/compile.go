@@ -175,6 +175,8 @@ type replicaCfg struct {
 	shape string
 
 	condition string
+	// failures arms the spec's declared failure script on this point.
+	failures bool
 }
 
 // jobCfg is one resolved job of a job mix.
@@ -195,7 +197,8 @@ type jobCfg struct {
 // bindings. Axis names are conventional: "machine", "osts", "noise",
 // "kind", "writers", "ratio", "size" (MB), "bytes", "procs", "generator",
 // "method", "transport_osts", "condition", "with_interference",
-// "stagger" (ns).
+// "stagger" (ns), "failures" (arm the declared failure script),
+// "adapt" (false = the DisableAdaptation ablation).
 func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 	c := replicaCfg{
 		kind:      p.Str("kind", s.workloadKind()),
@@ -210,6 +213,10 @@ func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 		method:    p.Str("method", s.Transport.Method),
 		transport: s.Transport,
 		condition: p.Str("condition", s.Interference.Condition),
+		failures:  p.Bool("failures", s.Interference.Failures.declared()),
+	}
+	if p.Has("adapt") {
+		c.transport.DisableAdaptation = !p.Bool("adapt", true)
 	}
 	if c.machine == "" {
 		c.machine = "jaguar"
@@ -219,6 +226,19 @@ func (s *Scenario) resolve(p Params) (replicaCfg, error) {
 	}
 	if _, ok := machines.ByName(c.machine, 0); !ok {
 		return c, fmt.Errorf("unknown machine %q (have %v)", c.machine, machines.Names())
+	}
+	if c.failures {
+		if !s.Interference.Failures.declared() {
+			return c, fmt.Errorf("failures axis armed but the spec declares no failure script")
+		}
+		m, _ := machines.ByName(c.machine, 0)
+		n := m.FS.NumOSTs
+		if c.numOSTs > 0 {
+			n = c.numOSTs
+		}
+		if err := s.failureConfig(true).Validate(n); err != nil {
+			return c, err
+		}
 	}
 
 	c.bytes = s.Workload.Bytes
@@ -500,12 +520,29 @@ func ApplySet(s *Scenario, assignment string) error {
 		s.Transport.OSTs = n
 	case "condition":
 		s.Interference.Condition = val
+	case "adapt":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set adapt: %v", err)
+		}
+		s.Transport.DisableAdaptation = !b
+	case "failures":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("scenario: -set failures: %v", err)
+		}
+		if !b {
+			// Disarm the declared script without an axis.
+			s.Interference.Failures = FailuresSpec{}
+		} else if !s.Interference.Failures.declared() {
+			return fmt.Errorf("scenario: -set failures=true but the spec declares no failure script")
+		}
 	case "stagger":
 		s.Workload.Stagger = val
 	case "seed_label":
 		s.SeedLabel = val
 	default:
-		return fmt.Errorf("scenario: unknown -set key %q (axes: %v; fields: samples machine osts noise no_noise procs writers ratio size_mb generator method transport_osts condition stagger seed_label)",
+		return fmt.Errorf("scenario: unknown -set key %q (axes: %v; fields: samples machine osts noise no_noise procs writers ratio size_mb generator method transport_osts condition adapt failures stagger seed_label)",
 			key, axisNames(s))
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"repro/adios"
 	"repro/cluster"
+	"repro/internal/interference"
 	"repro/internal/iomethod"
 	"repro/internal/ior"
 	"repro/internal/pfs"
@@ -31,6 +32,13 @@ type Sample struct {
 	PerWriterBW []float64
 	// AdaptiveWrites counts redirected writes (app kind, adaptive method).
 	AdaptiveWrites int
+	// WriteFailures counts client writes abandoned with ErrTargetDown
+	// against a dead storage target (app kind; the adaptive method retries
+	// them elsewhere, the static baselines lose the data).
+	WriteFailures int
+	// FailedWriters counts IOR writers whose payload was lost to a dead
+	// target (IOR kinds).
+	FailedWriters int
 	// QueuePeak is the metadata server's queue high-water mark (openstorm).
 	QueuePeak int
 	// Jobs are the per-job measurements of a job-mix replica, in spec
@@ -92,6 +100,8 @@ type CampaignConfig struct {
 	InterferenceChunkBytes  float64
 	// SlowOSTs degrade targets deterministically before the run.
 	SlowOSTs []SlowOST
+	// Failures scripts deterministic storage failures for the replica.
+	Failures interference.FailureConfig
 	// Pool, if non-nil, supplies the replica's world (reset, not rebuilt).
 	// A nil Pool builds and tears down a fresh world — the two paths are
 	// bit-identical by the world-reuse determinism contract.
@@ -118,6 +128,7 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 		Seed:            cfg.Seed,
 		NumOSTs:         cfg.NumOSTs,
 		ProductionNoise: !cfg.NoNoise,
+		Failures:        cfg.Failures,
 	})
 	if err != nil {
 		return Sample{}, err
@@ -178,7 +189,34 @@ func execCampaign(cfg CampaignConfig, tc *traceCapture) (Sample, error) {
 		WriterTimes:    res.WriterTimes,
 		TotalBytes:     res.TotalBytes,
 		AdaptiveWrites: res.AdaptiveWrites,
+		WriteFailures:  res.WriteFailures,
 	}, nil
+}
+
+// failureConfig materialises the spec's declared failure script for one
+// resolved point (zero value when the point leaves it disarmed).
+func (s *Scenario) failureConfig(on bool) interference.FailureConfig {
+	fspec := s.Interference.Failures
+	if !on || !fspec.declared() {
+		return interference.FailureConfig{}
+	}
+	cfg := interference.FailureConfig{
+		Enabled:     true,
+		DeadTimeout: fspec.DeadTimeoutSeconds,
+		MDSStallAt:  fspec.MDSStallAtSeconds,
+		MDSStallFor: fspec.MDSStallSeconds,
+		Episodes:    make([]interference.FailureEpisode, len(fspec.Episodes)),
+	}
+	for i, ep := range fspec.Episodes {
+		cfg.Episodes[i] = interference.FailureEpisode{
+			OST:        ep.OST,
+			At:         ep.AtSeconds,
+			DeadFor:    ep.DeadSeconds,
+			RebuildFor: ep.RebuildSeconds,
+			RebuildTax: ep.RebuildTax,
+		}
+	}
+	return cfg
 }
 
 // execReplica runs one grid-point replica of the scenario on a world rented
@@ -207,6 +245,7 @@ func (s *Scenario) execReplica(cfg replicaCfg, seed int64, pool *cluster.Pool, t
 			InterferenceProcsPerOST: s.Interference.ProcsPerOST,
 			InterferenceChunkBytes:  s.Interference.ChunkMB * pfs.MB,
 			SlowOSTs:                s.Interference.SlowOSTs,
+			Failures:                s.failureConfig(cfg.failures),
 			Pool:                    pool,
 		}, tc)
 	case KindIOR:
@@ -245,6 +284,7 @@ func (s *Scenario) execIOR(cfg replicaCfg, seed int64, pool *cluster.Pool, tc *t
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
+		Failures:        s.failureConfig(cfg.failures),
 	})
 	if err != nil {
 		return Sample{}, err
@@ -275,6 +315,7 @@ func (s *Scenario) execPairedIOR(cfg replicaCfg, seed int64, pool *cluster.Pool,
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
+		Failures:        s.failureConfig(cfg.failures),
 	})
 	if err != nil {
 		return Sample{}, err
@@ -358,6 +399,7 @@ func (s *Scenario) execOpenStorm(cfg replicaCfg, seed int64, pool *cluster.Pool,
 		Seed:            seed,
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
+		Failures:        s.failureConfig(cfg.failures),
 	})
 	if err != nil {
 		return Sample{}, err
@@ -428,6 +470,7 @@ func (s *Scenario) execJobMix(cfg replicaCfg, seed int64, pool *cluster.Pool, tc
 		NumOSTs:         cfg.numOSTs,
 		ProductionNoise: cfg.noise,
 		WorldShape:      cfg.shape,
+		Failures:        s.failureConfig(cfg.failures),
 	})
 	if err != nil {
 		return Sample{}, err
@@ -652,11 +695,12 @@ func iorMode(cfg replicaCfg) ior.Mode {
 
 func iorSample(r ior.Result) Sample {
 	return Sample{
-		Elapsed:     r.Elapsed,
-		TotalBytes:  r.TotalBytes,
-		AggregateBW: r.AggregateBW,
-		WriterTimes: r.WriterTimes,
-		PerWriterBW: r.PerWriterBW,
+		Elapsed:       r.Elapsed,
+		TotalBytes:    r.TotalBytes,
+		AggregateBW:   r.AggregateBW,
+		WriterTimes:   r.WriterTimes,
+		PerWriterBW:   r.PerWriterBW,
+		FailedWriters: r.FailedWriters,
 	}
 }
 

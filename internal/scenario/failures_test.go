@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// failureJSON is a minimal declarative failure-sweep spec as a user would
+// write it: one scripted crash, armed per point by the "failures" axis.
+const failureJSON = `{
+  "name": "fail-e2e",
+  "num_osts": 8,
+  "no_noise": true,
+  "samples": 2,
+  "workload": {"kind": "app", "generator": "pixie3d-small", "procs": 16},
+  "transport": {"method": "ADAPTIVE"},
+  "interference": {"failures": {
+    "dead_timeout_seconds": 0.2,
+    "episodes": [{"ost": 0, "at_seconds": 0.01, "dead_seconds": 0.5,
+                  "rebuild_seconds": 1, "rebuild_tax": 0.5}],
+    "mds_stall_at_seconds": 0.001, "mds_stall_seconds": 0.005
+  }},
+  "axes": [{"name": "failures", "values": [false, true]}]
+}`
+
+// TestFailureAxisEndToEnd drives a declared failure script from JSON spec
+// to executed campaign: the armed point must surface ErrTargetDown at the
+// client and run measurably longer; the disarmed point must take the exact
+// zero-value path.
+func TestFailureAxisEndToEnd(t *testing.T) {
+	s, err := Parse([]byte(failureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(s, RunOptions{Seed: 42, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, failed := run.Point("failures=false"), run.Point("failures=true")
+	if clean == nil || failed == nil {
+		t.Fatal("grid points missing from run")
+	}
+	for _, smp := range clean.Samples {
+		if smp.WriteFailures != 0 {
+			t.Fatalf("disarmed point reported %d write failures", smp.WriteFailures)
+		}
+	}
+	sawFailure := false
+	for i, smp := range failed.Samples {
+		if smp.WriteFailures > 0 {
+			sawFailure = true
+		}
+		if smp.Elapsed <= clean.Samples[i].Elapsed {
+			t.Fatalf("sample %d: outage run (%.3fs) not slower than clean run (%.3fs)",
+				i, smp.Elapsed, clean.Samples[i].Elapsed)
+		}
+	}
+	if !sawFailure {
+		t.Fatal("armed failure script never surfaced ErrTargetDown at the client")
+	}
+}
+
+// TestFailureSpecBitIdenticalToUndeclared pins the zero-impact contract: a
+// spec that declares a failure script but never arms it (failures=false)
+// produces samples bit-identical to the same spec with no failures block at
+// all. Both specs keep the same axis so the replica seed streams — derived
+// from point labels — are identical, isolating the script's presence.
+func TestFailureSpecBitIdenticalToUndeclared(t *testing.T) {
+	declared, err := Parse([]byte(failureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared.Axes = []Axis{{Name: "failures", Values: []Value{BoolValue(false)}}}
+	bare, err := Parse([]byte(failureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Interference.Failures = FailuresSpec{}
+	bare.Axes = declared.Axes
+	run1, err := Run(declared, RunOptions{Seed: 7, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Run(bare, RunOptions{Seed: 7, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := run1.Point("failures=false")
+	want := run2.Point("failures=false")
+	if off == nil || want == nil {
+		t.Fatal("expected points missing")
+	}
+	if !reflect.DeepEqual(off.Samples, want.Samples) {
+		t.Fatalf("disarmed failure script perturbed the replica:\n got %+v\nwant %+v", off.Samples, want.Samples)
+	}
+}
+
+// TestFailureValidation covers the compile-time failure checks: arming the
+// axis with nothing declared, and scripts naming out-of-range targets.
+func TestFailureValidation(t *testing.T) {
+	s, err := Parse([]byte(failureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Interference.Failures.Episodes[0].OST = 64 // beyond num_osts=8
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range episode target passed validation")
+	}
+	s, _ = Parse([]byte(failureJSON))
+	s.Interference.Failures = FailuresSpec{}
+	if err := s.Validate(); err == nil {
+		t.Error("failures axis with no declared script passed validation")
+	}
+}

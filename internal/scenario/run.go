@@ -55,11 +55,14 @@ type TraceResult struct {
 	// Activity / Slowness are per-target heatmaps; Throughput is the
 	// aggregate disk-throughput timeline (rendered while the replica's
 	// file system was live). Jobs is the per-job traffic timeline, empty
-	// unless the replica co-scheduled registered jobs.
+	// unless the replica co-scheduled registered jobs. Health is the
+	// per-target lifecycle timeline, empty unless some target left the
+	// healthy state.
 	Activity   string
 	Slowness   string
 	Throughput string
 	Jobs       string
+	Health     string
 }
 
 // Render concatenates the trace's renderings.
@@ -68,6 +71,9 @@ func (t *TraceResult) Render() string {
 		t.Key, len(t.Samples), t.Activity, t.Slowness, t.Throughput)
 	if t.Jobs != "" {
 		out += "\nPer-job traffic:\n" + t.Jobs
+	}
+	if t.Health != "" {
+		out += "\nTarget health:\n" + t.Health
 	}
 	return out
 }
@@ -120,6 +126,7 @@ func (t *traceCapture) finish() {
 		Slowness:   t.tracer.RenderSlowness(72),
 		Throughput: t.tracer.RenderThroughput(50),
 		Jobs:       t.tracer.RenderJobs(72),
+		Health:     t.tracer.RenderHealth(72),
 	}
 }
 

@@ -228,6 +228,42 @@ type Interference struct {
 	// SlowOSTs deterministically degrade targets — declarative fault
 	// injection for staging the imbalance the paper measures.
 	SlowOSTs []SlowOST `json:"slow_osts,omitempty"`
+	// Failures scripts storage failures: OST crash/rebuild episodes and an
+	// MDS stall window at declared virtual times. Declaring at least one
+	// episode (or a stall window) arms the script on every replica; the
+	// boolean "failures" axis switches it per grid point.
+	Failures FailuresSpec `json:"failures,omitempty"`
+}
+
+// FailuresSpec is the declarative failure script (see
+// interference.FailureConfig for the execution semantics).
+type FailuresSpec struct {
+	// DeadTimeoutSeconds overrides how long a client request against a dead
+	// target hangs before failing with ErrTargetDown (0 = the file-system
+	// default).
+	DeadTimeoutSeconds float64 `json:"dead_timeout_seconds,omitempty"`
+	// Episodes are the scripted OST crashes.
+	Episodes []FailureEpisodeSpec `json:"episodes,omitempty"`
+	// MDSStallAtSeconds / MDSStallSeconds script a metadata-server stall
+	// window (MDSStallSeconds 0 disables it).
+	MDSStallAtSeconds float64 `json:"mds_stall_at_seconds,omitempty"`
+	MDSStallSeconds   float64 `json:"mds_stall_seconds,omitempty"`
+}
+
+// FailureEpisodeSpec is one declared OST crash: dead for DeadSeconds from
+// AtSeconds, then rebuilding for RebuildSeconds with RebuildTax of the disk
+// bandwidth consumed before returning to healthy.
+type FailureEpisodeSpec struct {
+	OST            int     `json:"ost"`
+	AtSeconds      float64 `json:"at_seconds"`
+	DeadSeconds    float64 `json:"dead_seconds"`
+	RebuildSeconds float64 `json:"rebuild_seconds,omitempty"`
+	RebuildTax     float64 `json:"rebuild_tax,omitempty"`
+}
+
+// declared reports whether the spec scripts any failure at all.
+func (f FailuresSpec) declared() bool {
+	return len(f.Episodes) > 0 || f.MDSStallSeconds > 0
 }
 
 // SlowOST pins one storage target to a service fraction (1 = clean).

@@ -25,6 +25,9 @@ type Sample struct {
 	Slow []float64
 	// Ext is the external stream count per target.
 	Ext []int
+	// Health is the lifecycle state per target (healthy, degraded, dead,
+	// rebuilding — see pfs.HealthState).
+	Health []pfs.HealthState
 	// Drained is the cumulative bytes on disk across all targets.
 	Drained float64
 	// Jobs is the cumulative attributed traffic per job id (index 0 is the
@@ -61,17 +64,19 @@ func Start(fs *pfs.FileSystem, interval float64) *Tracer {
 func (t *Tracer) take(now simkernel.Time) {
 	n := len(t.fs.OSTs)
 	s := Sample{
-		T:     now.Seconds(),
-		Flows: make([]int, n),
-		Cache: make([]float64, n),
-		Slow:  make([]float64, n),
-		Ext:   make([]int, n),
+		T:      now.Seconds(),
+		Flows:  make([]int, n),
+		Cache:  make([]float64, n),
+		Slow:   make([]float64, n),
+		Ext:    make([]int, n),
+		Health: make([]pfs.HealthState, n),
 	}
 	for i, o := range t.fs.OSTs {
 		s.Cache[i] = o.CacheLevel() // advances fluid state
 		s.Flows[i] = o.ActiveFlows()
 		s.Slow[i] = o.SlowFactor()
 		s.Ext[i] = o.ExternalStreams()
+		s.Health[i] = o.Health()
 	}
 	s.Drained = t.fs.TotalBytesDrained()
 	if n := t.fs.JobCount(); n > 0 {
@@ -168,6 +173,72 @@ func (t *Tracer) RenderSlowness(width int) string {
 		b.WriteString("|\n")
 	}
 	return b.String()
+}
+
+// healthGlyph maps a lifecycle state to a timeline glyph.
+func healthGlyph(h pfs.HealthState) byte {
+	switch h {
+	case pfs.Degraded:
+		return '-'
+	case pfs.Dead:
+		return 'X'
+	case pfs.Rebuilding:
+		return 'r'
+	default:
+		return '.'
+	}
+}
+
+// RenderHealth draws the lifecycle timeline per target: '.' healthy,
+// '-' degraded, 'X' dead, 'r' rebuilding. Returns "" when every sample saw
+// every target healthy, so failure-free runs print nothing extra.
+func (t *Tracer) RenderHealth(width int) string {
+	if len(t.samples) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 72
+	}
+	any := false
+	for _, s := range t.samples {
+		for _, h := range s.Health {
+			if h != pfs.Healthy {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return ""
+	}
+	cols := len(t.samples)
+	if cols > width {
+		cols = width
+	}
+	var b strings.Builder
+	b.WriteString("per-target health over time (. healthy, - degraded, X dead, r rebuilding)\n")
+	for i := 0; i < len(t.fs.OSTs); i++ {
+		fmt.Fprintf(&b, "OST%03d |", i)
+		for c := 0; c < cols; c++ {
+			idx := c * len(t.samples) / cols
+			b.WriteByte(healthGlyph(t.samples[idx].Health[i]))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// HealthSeconds sums, per lifecycle state, the virtual seconds all targets
+// spent in that state as observed by the trace (sample-resolution: each
+// inter-sample interval is attributed to the state seen at its start).
+func (t *Tracer) HealthSeconds() [pfs.NumHealthStates]float64 {
+	var out [pfs.NumHealthStates]float64
+	for i := 1; i < len(t.samples); i++ {
+		dt := t.samples[i].T - t.samples[i-1].T
+		for _, h := range t.samples[i-1].Health {
+			out[h] += dt
+		}
+	}
+	return out
 }
 
 // jobTraffic returns the cumulative attributed bytes (written + read) of

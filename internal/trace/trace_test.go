@@ -132,3 +132,38 @@ func TestMaxSamplesBounds(t *testing.T) {
 		t.Fatalf("samples = %d exceeds bound", got)
 	}
 }
+
+func TestHealthTimelineTracksLifecycle(t *testing.T) {
+	k, fs := setup(t)
+	tr := Start(fs, 0.5)
+	// Script OST 1 through the full lifecycle with kernel events.
+	k.At(simkernel.FromSeconds(2), func() { fs.OST(1).SetHealth(pfs.Dead, 1) })
+	k.At(simkernel.FromSeconds(4), func() { fs.OST(1).SetHealth(pfs.Rebuilding, 0.5) })
+	k.At(simkernel.FromSeconds(6), func() { fs.OST(1).SetHealth(pfs.Healthy, 1) })
+	k.RunUntil(simkernel.FromSeconds(10))
+	tr.Stop()
+	k.Shutdown()
+
+	out := tr.RenderHealth(40)
+	if !strings.Contains(out, "X") || !strings.Contains(out, "r") {
+		t.Fatalf("health timeline missing dead/rebuilding glyphs:\n%s", out)
+	}
+	secs := tr.HealthSeconds()
+	if secs[pfs.Dead] < 1 || secs[pfs.Dead] > 3 {
+		t.Fatalf("dead residency %.1fs, want ~2s", secs[pfs.Dead])
+	}
+	if secs[pfs.Rebuilding] < 1 || secs[pfs.Rebuilding] > 3 {
+		t.Fatalf("rebuilding residency %.1fs, want ~2s", secs[pfs.Rebuilding])
+	}
+}
+
+func TestHealthTimelineSilentWhenClean(t *testing.T) {
+	k, fs := setup(t)
+	tr := Start(fs, 1.0)
+	k.RunUntil(simkernel.FromSeconds(5))
+	tr.Stop()
+	k.Shutdown()
+	if out := tr.RenderHealth(40); out != "" {
+		t.Fatalf("failure-free trace rendered a health timeline:\n%s", out)
+	}
+}

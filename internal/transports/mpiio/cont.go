@@ -127,11 +127,21 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 			if !s.write.Step(c) {
 				return false
 			}
-			if !m.cfg.NoFlush {
-				s.flush.BeginFlush(s.f)
-				s.pc = 5
-			} else {
+			if werr := s.write.Err(); werr != nil {
+				// Mirrors WriteStep: the block is lost, the cohort
+				// bookkeeping still completes.
+				s.err = werr
+				st.res.WriteFailures++
+				st.dataOf[s.rank] = iomethod.RankData{}
 				s.pc = 6
+			} else {
+				st.res.TotalBytes += float64(s.total)
+				if !m.cfg.NoFlush {
+					s.flush.BeginFlush(s.f)
+					s.pc = 5
+				} else {
+					s.pc = 6
+				}
 			}
 		case 5:
 			if !s.flush.Step(c) {
@@ -140,7 +150,6 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 			s.pc = 6
 		case 6:
 			st.res.WriterTimes[s.rank] = (c.Now() - st.t0).Seconds()
-			st.res.TotalBytes += float64(s.total)
 			st.writersWG[s.cohort].Done()
 			if s.leader {
 				s.pc = 7
@@ -178,12 +187,20 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 			if !s.write.Step(c) {
 				return false
 			}
-			st.res.IndexBytes += float64(s.enc)
-			if !m.cfg.NoFlush {
-				s.flush.BeginFlush(s.f)
-				s.pc = 9
-			} else {
+			if aerr := s.write.Err(); aerr != nil {
+				// Footer lost; still close so the cohort completes.
+				if s.err == nil {
+					s.err = aerr
+				}
 				s.pc = 10
+			} else {
+				st.res.IndexBytes += float64(s.enc)
+				if !m.cfg.NoFlush {
+					s.flush.BeginFlush(s.f)
+					s.pc = 9
+				} else {
+					s.pc = 10
+				}
 			}
 		case 9:
 			if !s.flush.Step(c) {

@@ -252,12 +252,20 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	f := st.files[cohort]
 	st.dataOf[rank] = data
 	total := data.TotalBytes()
-	f.WriteAt(p, st.offsets[rank], total)
-	if !m.cfg.NoFlush {
-		f.Flush(p)
+	werr := f.WriteAt(p, st.offsets[rank], total)
+	if werr == nil {
+		if !m.cfg.NoFlush {
+			f.Flush(p)
+		}
+		st.res.TotalBytes += float64(total)
+	} else {
+		// The collective has no recovery path: the rank's block is lost, but
+		// the cohort bookkeeping must still complete or every sibling
+		// deadlocks in the collective close.
+		st.res.WriteFailures++
+		st.dataOf[rank] = iomethod.RankData{}
 	}
 	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
-	st.res.TotalBytes += float64(total)
 	st.writersWG[cohort].Done()
 
 	// Each cohort leader appends its file's footer index and closes;
@@ -282,10 +290,16 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 		if err != nil {
 			return nil, err
 		}
-		f.Append(p, int64(encLen))
-		st.res.IndexBytes += float64(encLen)
-		if !m.cfg.NoFlush {
-			f.Flush(p)
+		if _, aerr := f.Append(p, int64(encLen)); aerr != nil {
+			// Footer lost; still close so the cohort's collective completes.
+			if werr == nil {
+				werr = aerr
+			}
+		} else {
+			st.res.IndexBytes += float64(encLen)
+			if !m.cfg.NoFlush {
+				f.Flush(p)
+			}
 		}
 		f.Close(p)
 		st.locals[cohort] = li
@@ -306,5 +320,5 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	if st.returned == m.w.Size() {
 		delete(m.steps, stepName)
 	}
-	return st.res, nil
+	return st.res, werr
 }

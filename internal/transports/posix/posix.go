@@ -107,23 +107,33 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 	}
 
 	entries, total := iomethod.BuildEntries(rank, 0, data)
-	f.WriteAt(p, 0, total)
-	li := bp.LocalIndex{File: name, Entries: entries}
-	li.Sort()
-	encLen, err := li.EncodedLen()
-	if err != nil {
-		return nil, err
-	}
-	f.Append(p, int64(encLen))
-	st.res.IndexBytes += float64(encLen)
-	if !m.cfg.NoFlush {
-		f.Flush(p)
+	werr := f.WriteAt(p, 0, total)
+	if werr == nil {
+		li := bp.LocalIndex{File: name, Entries: entries}
+		li.Sort()
+		encLen, err := li.EncodedLen()
+		if err != nil {
+			return nil, err
+		}
+		if _, aerr := f.Append(p, int64(encLen)); aerr != nil {
+			werr = aerr
+		} else {
+			st.res.IndexBytes += float64(encLen)
+			st.res.TotalBytes += float64(total)
+			st.locals[rank] = li
+			if !m.cfg.NoFlush {
+				f.Flush(p)
+			}
+		}
 	}
 	f.Close(p)
 
 	st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
-	st.res.TotalBytes += float64(total)
-	st.locals[rank] = li
+	if werr != nil {
+		// POSIX has no recovery: the rank's output is lost. Complete the
+		// collective bookkeeping so other ranks still finish the step.
+		st.res.WriteFailures++
+	}
 	if el := (p.Now() - st.t0).Seconds(); el > st.res.Elapsed {
 		st.res.Elapsed = el
 	}
@@ -135,5 +145,5 @@ func (m *Method) WriteStep(r *mpisim.Rank, stepName string, data iomethod.RankDa
 		st.res.Global = g
 		delete(m.steps, stepName)
 	}
-	return st.res, nil
+	return st.res, werr
 }

@@ -265,10 +265,17 @@ func (m *Method) spawnDrainer(st *stepState, nd *node, stepName string) {
 			off := st.offsets[fileIdx]
 			st.offsets[fileIdx] += total
 			st.inflight[fileIdx]++
-			f.WriteAt(p, off, total)
+			werr := f.WriteAt(p, off, total)
 			st.inflight[fileIdx]--
 			nd.sem.Release(float64(blk.bytes))
-			st.locals[fileIdx].Entries = append(st.locals[fileIdx].Entries, entries...)
+			if werr == nil {
+				st.locals[fileIdx].Entries = append(st.locals[fileIdx].Entries, entries...)
+			} else {
+				// The block's target died past its timeout: the data is lost
+				// (it never reached storage and the rank has long returned),
+				// but the drain bookkeeping completes so the step drains dry.
+				st.res.WriteFailures++
+			}
 			drained++
 			st.blocksWG.Done()
 			st.drainWG.Done()
@@ -285,9 +292,13 @@ func (m *Method) spawnDrainer(st *stepState, nd *node, stepName string) {
 			panic(err)
 		}
 		f := st.files[nd.id]
-		f.Append(p, int64(encLen))
-		st.res.IndexBytes += float64(encLen)
-		f.Flush(p)
+		if _, aerr := f.Append(p, int64(encLen)); aerr != nil {
+			// Index lost with its target; still close so the step completes.
+			st.res.WriteFailures++
+		} else {
+			st.res.IndexBytes += float64(encLen)
+			f.Flush(p)
+		}
 		f.Close(p)
 		st.drainWG.Done()
 		if st.drainWG.Count() == 0 {
