@@ -26,10 +26,15 @@ import (
 // Functions are audited when annotated //repro:hotpath, and also when any
 // parameter is a *simkernel.ContProc: continuation Step bodies run inline
 // on the kernel's event loop — the whole point of the run-to-completion
-// engine — so they are hot by construction and need no annotation. Test
-// files are exempt from the implicit rule (test cont machines exist to
-// exercise semantics, not to be fast); an explicit //repro:hotpath in a
-// test still audits as usual.
+// engine — so they are hot by construction and need no annotation. Hotness
+// propagates through receivers: if any method of a named type takes a
+// *ContProc, the type is a continuation machine and ALL its methods (in
+// non-test files) are audited — a Step body's helpers (message handlers,
+// queue feeders, envelope pools) run just as inline as Step itself, and
+// factoring code out of Step must not move it out of the audit. Test files
+// are exempt from both implicit rules (test cont machines exist to exercise
+// semantics, not to be fast); an explicit //repro:hotpath in a test still
+// audits as usual.
 //
 // Intentional occurrences (a once-cached closure, a cold error path) carry
 // //repro:allow hotpath <reason> on the offending line.
@@ -51,6 +56,26 @@ var fmtAllocFuncs = map[string]bool{
 }
 
 func runHotPath(pass *Pass) error {
+	// First pass: a named type with any *ContProc-param method (outside
+	// tests) is a continuation machine; every method of such a type is
+	// implicitly hot.
+	hotRecv := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if hasContProcParam(pass, fn) {
+				if tn := recvTypeName(pass, fn); tn != nil {
+					hotRecv[tn] = true
+				}
+			}
+		}
+	}
 	for _, f := range pass.Files {
 		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
 		for _, decl := range f.Decls {
@@ -58,11 +83,37 @@ func runHotPath(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if !hasHotpathDirective(fn) && (isTest || !hasContProcParam(pass, fn)) {
+			implicit := !isTest &&
+				(hasContProcParam(pass, fn) || (fn.Recv != nil && hotRecv[recvTypeName(pass, fn)]))
+			if !hasHotpathDirective(fn) && !implicit {
 				continue
 			}
 			checkHotFunc(pass, fn)
 		}
+	}
+	return nil
+}
+
+// recvTypeName resolves a method's receiver to the named type it is declared
+// on (through any pointer), or nil for non-methods.
+func recvTypeName(pass *Pass, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.Info.Types[fn.Recv.List[0].Type].Type
+	if t == nil && len(fn.Recv.List[0].Names) > 0 {
+		if obj := pass.Info.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
 	}
 	return nil
 }

@@ -24,3 +24,13 @@ func (m *testOnlyMachine) Step(c *ContProc) bool {
 func annotatedInTest(weight int) {
 	consume(weight) // want `converting int to any boxes the value on the heap`
 }
+
+// Methods added to a continuation-machine type (pumpOp, whose Step lives in
+// pump.go) from a test file are exempt from the receiver-propagation rule:
+// test helpers on hot types exist to exercise semantics, not to be fast.
+func (o *pumpOp) testFeed(n int) {
+	sink = n
+	_ = fmt.Sprintf("feed %d", n)
+	f := func() int { return o.next }
+	_ = f()
+}

@@ -143,3 +143,68 @@ type lifecycleLeaky struct {
 func (l *lifecycleLeaky) Reset() { // want `lifecycleLeaky.Reset: field stateSecs is not reset`
 	l.health = 0
 }
+
+// poolEnv mimics a pooled message envelope.
+type poolEnv struct{ kind int }
+
+// pool mimics a pooled-envelope free list: the slice must be swept so stale
+// payloads don't outlive the run that allocated them.
+type pool struct {
+	free []*poolEnv
+	hits int
+}
+
+func (p *pool) Reset() {
+	for i := range p.free {
+		p.free[i] = nil
+	}
+	p.free = p.free[:0]
+	p.hits = 0
+}
+
+// poolLeaky forgets the free list — recycled envelopes would carry stale
+// payload references into the next run.
+type poolLeaky struct {
+	free []*poolEnv
+	hits int
+}
+
+func (p *poolLeaky) Reset() { // want `poolLeaky.Reset: field free is not reset`
+	p.hits = 0
+}
+
+// ringBuf mimics simkernel.Ring: head/count indices plus a retained backing
+// array whose occupied slots must be zeroed.
+type ringBuf struct {
+	buf  []*poolEnv
+	head int
+	n    int
+}
+
+func (r *ringBuf) Reset() {
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.head = 0
+	r.n = 0
+}
+
+// ringHolder delegates a ring-buffer field to the ring's own Reset.
+type ringHolder struct {
+	q   ringBuf
+	gen int
+}
+
+func (h *ringHolder) Reset() {
+	h.q.Reset()
+	h.gen++
+}
+
+// ringHolderLeaky never touches its ring: queued entries would survive into
+// the next run.
+type ringHolderLeaky struct {
+	q ringBuf
+}
+
+func (h *ringHolderLeaky) Reset() { // want `ringHolderLeaky.Reset: field q is not reset`
+}

@@ -1,30 +1,3 @@
-// Package core implements the paper's primary contribution: the adaptive IO
-// method (Section III, Algorithms 1–3).
-//
-// Writers are grouped contiguously by rank, one group per storage target.
-// The first writer of each group additionally acts as the group's
-// sub-coordinator (SC), owning one file placed on one OST and scheduling its
-// writers onto that file one at a time. Rank 0 additionally acts as the
-// coordinator (C) for the whole output. Writers and the coordinator talk
-// only to sub-coordinators, never to each other, which bounds the message
-// load on any single process.
-//
-// The adaptive mechanism: as sub-coordinators finish, their files (and thus
-// their storage targets) become idle; the coordinator shifts queued writers
-// from still-writing (slow) groups onto those idle (fast) targets, appending
-// at the coordinator-tracked end offset, with at most one write active per
-// file at any time. Work therefore drains from the slow areas of the file
-// system into the fast ones — directly attacking the imbalance factor
-// measured in Section II.
-//
-// Index handling follows the paper: each writer builds its local index
-// entries from its assigned offset and ships them (separately from, and
-// after, its data) to the *target* file's sub-coordinator; each SC sorts and
-// merges its entries and writes a per-file local index; the coordinator
-// gathers the local indices into a global index. (The paper notes the global
-// indexing phase was the one unfinished piece, with a characteristics-based
-// search as the interim; this implementation provides both — see
-// bp.GlobalIndex.FindByValue.)
 package core
 
 import (
@@ -46,80 +19,118 @@ const (
 	tagToC      = 1003
 )
 
-// Wire messages (Algorithms 1–3).
-type (
-	// msgWriteGo is the "(target, offset)" signal a writer waits for.
-	msgWriteGo struct {
-		TargetGroup int
-		Offset      int64
-	}
-	// msgWriteComplete is Algorithm 1's WRITE COMPLETE.
-	msgWriteComplete struct {
-		Writer      int
-		SourceGroup int
-		TargetGroup int
-		Bytes       int64
-	}
-	// msgIndexBody announces that a writer's index records are on the wire
+// scKind discriminates the wire messages of Algorithms 1–3. The whole
+// protocol travels in one pooled envelope type (scMsg) rather than one
+// struct type per message: a *scMsg is pointer-shaped, so storing it in
+// Message.Data costs no interface-boxing allocation, and recycling the
+// envelopes through msgPool makes steady-state send/receive 0 allocs/op.
+type scKind uint8
+
+const (
+	// kindWriteGo is the "(target, offset)" signal a writer waits for.
+	// Fields: target, offset.
+	kindWriteGo scKind = iota
+	// kindWriteComplete is Algorithm 1's WRITE COMPLETE.
+	// Fields: writer, source, target, bytes.
+	kindWriteComplete
+	// kindIndexBody announces that a writer's index records are on the wire
 	// to the target SC. The records themselves are derivable — the SC holds
 	// every rank's RankData in st.dataOf and reconstructs them from
-	// (Writer, Offset) on receipt, building its merged index in place
+	// (writer, offset) on receipt, building its merged index in place
 	// instead of copying a per-writer slice out of each message.
-	msgIndexBody struct {
-		Writer int
-		Offset int64
-	}
-	// msgAdaptiveStart is C's ADAPTIVE WRITE START request to an SC.
-	msgAdaptiveStart struct {
-		TargetGroup int
-		Offset      int64
-	}
-	// msgWritersBusy is the SC's refusal: all its writers are scheduled.
-	msgWritersBusy struct {
-		Group       int
-		TargetGroup int // echoed so C can free the reserved target
-	}
-	// msgSCComplete is the SC's completion report (with its file's end).
-	msgSCComplete struct {
-		Group       int
-		FinalOffset int64
-	}
-	// msgAdaptiveDone is the triggering SC's forward of an adaptive write's
-	// completion to C.
-	msgAdaptiveDone struct {
-		SourceGroup int
-		TargetGroup int
-		Bytes       int64
-	}
-	// msgWriteFailed is a writer's report that its assigned write was
+	// Fields: writer, offset.
+	kindIndexBody
+	// kindAdaptiveStart is C's ADAPTIVE WRITE START request to an SC.
+	// Fields: target, offset.
+	kindAdaptiveStart
+	// kindWritersBusy is the SC's refusal: all its writers are scheduled.
+	// Fields: group, target (echoed so C can free the reserved target).
+	kindWritersBusy
+	// kindSCComplete is the SC's completion report (with its file's end).
+	// Fields: group, offset (the final file-end offset).
+	kindSCComplete
+	// kindAdaptiveDone is the triggering SC's forward of an adaptive
+	// write's completion to C. Fields: source, target, bytes.
+	kindAdaptiveDone
+	// kindWriteFailed is a writer's report that its assigned write was
 	// abandoned with pfs.ErrTargetDown: the target was Dead past the
 	// client timeout. The triggering SC requeues the writer.
-	msgWriteFailed struct {
-		Writer      int
-		SourceGroup int
-		TargetGroup int
-	}
-	// msgAdaptiveFailed is the SC's forward of a failed adaptive write to
+	// Fields: writer, source, target.
+	kindWriteFailed
+	// kindAdaptiveFailed is the SC's forward of a failed adaptive write to
 	// C: the redirect target is dead, its request slot is released and the
 	// target blacklisted; the writer is already requeued at the SC.
-	msgAdaptiveFailed struct {
-		SourceGroup int
-		TargetGroup int
-	}
-	// msgRetryOwn is the SC's self-addressed backoff probe: clear the
+	// Fields: source, target.
+	kindAdaptiveFailed
+	// kindRetryOwn is the SC's self-addressed backoff probe: clear the
 	// own-target-dead latch and try feeding the own file again. This is how
 	// the SC distinguishes "slow" from "dead" — a slow target completes its
 	// writes eventually, a dead one fails them, and the probe retries until
-	// the target has revived.
-	msgRetryOwn struct{}
-	// msgOverallComplete is C's OVERALL WRITE COMPLETE broadcast.
-	msgOverallComplete struct{}
-	// msgLocalIndex ships an SC's finished local index to C.
-	msgLocalIndex struct {
-		Group int
-		Index bp.LocalIndex
-	}
+	// the target has revived. No fields.
+	kindRetryOwn
+	// kindOverallComplete is C's OVERALL WRITE COMPLETE broadcast. No
+	// fields.
+	kindOverallComplete
+	// kindLocalIndex ships an SC's finished local index to C.
+	// Fields: group, index.
+	kindLocalIndex
 )
+
+// scMsg is the pooled wire envelope for the adaptive protocol. The fields
+// form a union across kinds (see the scKind constants for which are live);
+// every envelope is owned by exactly one in-flight message — the receiver
+// returns it to the pool after reading it, so a message that fans out to
+// two recipients is sent as two envelopes.
+type scMsg struct {
+	kind   scKind
+	writer int
+	source int
+	target int
+	group  int
+	offset int64
+	bytes  int64
+	index  bp.LocalIndex
+}
+
+// msgPool recycles scMsg envelopes within one Adaptive instance. The
+// kernel's handoff discipline makes it single-threaded; New registers a
+// Kernel.OnReset hook so the free list is swept when the world is reset,
+// dropping any index slices the envelopes may still reference.
+type msgPool struct {
+	free []*scMsg
+}
+
+// get takes an envelope from the free list (allocating only when empty) and
+// stamps its kind. All other fields are zero: put cleared them.
+//
+//repro:hotpath
+func (pl *msgPool) get(kind scKind) *scMsg {
+	if n := len(pl.free); n > 0 {
+		m := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		m.kind = kind
+		return m
+	}
+	return &scMsg{kind: kind}
+}
+
+// put returns a consumed envelope to the free list, zeroing it so stale
+// payloads (in particular index slices) don't outlive their message.
+//
+//repro:hotpath
+func (pl *msgPool) put(m *scMsg) {
+	*m = scMsg{}
+	pl.free = append(pl.free, m)
+}
+
+// sweep empties the free list. Registered with Kernel.OnReset by New.
+func (pl *msgPool) sweep() {
+	for i := range pl.free {
+		pl.free[i] = nil
+	}
+	pl.free = pl.free[:0]
+}
 
 // Config tunes the adaptive method.
 type Config struct {
@@ -166,6 +177,7 @@ type Adaptive struct {
 
 	steps     map[string]*stepState
 	stepCount int
+	pool      msgPool
 }
 
 // New builds an Adaptive method. The zero Config selects all storage
@@ -189,7 +201,11 @@ func New(w *mpisim.World, fs *pfs.FileSystem, cfg Config) (*Adaptive, error) {
 		return nil, fmt.Errorf("core: negative WritersPerTarget")
 	}
 	cfg.WriteGlobalIndex = true
-	return &Adaptive{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}, nil
+	a := &Adaptive{w: w, fs: fs, cfg: cfg, steps: make(map[string]*stepState)}
+	// Sweep the envelope free list when the kernel (and so the world) is
+	// reset between replicas; a reused world's next Adaptive re-registers.
+	w.Kernel().OnReset(a.pool.sweep)
+	return a, nil
 }
 
 // NewNoGlobalIndex is New with the global indexing phase disabled (the
@@ -218,6 +234,9 @@ type stepState struct {
 	fileNames []string
 	dataOf    []iomethod.RankData
 	machines  []stepCont // per rank, one backing array for the whole step
+	scs       []scCont   // per group, the sub-coordinator pump machines
+	cc        cCont      // the coordinator pump machine
+	gidxName  string     // precomputed global-index file name
 
 	arrived   int
 	setupDone *simkernel.WaitGroup
@@ -266,6 +285,8 @@ func (a *Adaptive) getStep(stepName string) *stepState {
 			fileNames: make([]string, len(groups)),
 			dataOf:    make([]iomethod.RankData, W),
 			machines:  make([]stepCont, W),
+			scs:       make([]scCont, len(groups)),
+			gidxName:  stepName + ".gidx.bp",
 			setupDone: simkernel.NewWaitGroup(a.w.Kernel()),
 			start:     simkernel.NewSignal(a.w.Kernel()),
 			res: &iomethod.StepResult{
@@ -368,183 +389,57 @@ func (a *Adaptive) writerRole(r *mpisim.Rank, st *stepState, rank, g int, data i
 	triggeringSC := st.groups[g][0]
 	for {
 		m := r.RecvAs(p, mpisim.AnySource, tagToWriter)
-		go_ := m.Data.(msgWriteGo)
+		env := m.Data.(*scMsg)
+		target, offset := env.target, env.offset
+		a.pool.put(env)
 
 		total := data.TotalBytes()
-		file := st.files[go_.TargetGroup]
-		if err := file.WriteAt(p, go_.Offset, total); err != nil {
+		file := st.files[target]
+		if err := file.WriteAt(p, offset, total); err != nil {
 			st.res.WriteFailures++
-			r.Send(triggeringSC, tagToSC, msgWriteFailed{
-				Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup,
-			})
+			fl := a.pool.get(kindWriteFailed)
+			fl.writer, fl.source, fl.target = rank, g, target
+			r.Send(triggeringSC, tagToSC, fl)
 			continue
 		}
 
 		st.res.WriterTimes[rank] = (p.Now() - st.t0).Seconds()
 		st.res.TotalBytes += float64(total)
-		if go_.TargetGroup != g {
+		if target != g {
 			st.res.AdaptiveWrites++
 		}
 
-		targetSC := st.groups[go_.TargetGroup][0]
-		done := msgWriteComplete{Writer: rank, SourceGroup: g, TargetGroup: go_.TargetGroup, Bytes: total}
+		targetSC := st.groups[target][0]
+		done := a.pool.get(kindWriteComplete)
+		done.writer, done.source, done.target, done.bytes = rank, g, target, total
 		r.Send(triggeringSC, tagToSC, done)
 		if targetSC != triggeringSC {
-			r.Send(targetSC, tagToSC, done)
+			// Each in-flight message owns its envelope: the fan-out is two
+			// envelopes, freed independently by their receivers.
+			done2 := a.pool.get(kindWriteComplete)
+			done2.writer, done2.source, done2.target, done2.bytes = rank, g, target, total
+			r.Send(targetSC, tagToSC, done2)
 		}
 		// The index travels separately and after the data, so its transfer
 		// overlaps the next writer's data (Section III-B.1).
-		r.Send(targetSC, tagToSC, msgIndexBody{Writer: rank, Offset: go_.Offset})
+		ib := a.pool.get(kindIndexBody)
+		ib.writer, ib.offset = rank, offset
+		r.Send(targetSC, tagToSC, ib)
 		return nil
 	}
 }
 
 // spawnSC launches the sub-coordinator loop (Algorithm 2) as a helper
-// process on the SC rank.
+// process on the SC rank. Both engines spawn it as a continuation state
+// machine (scCont, pump.go): its receive loop is message-driven either way,
+// so the pump form is the only one — REPRO_NO_CONT selects the engine for
+// the rank bodies, not for the pumps, and the event streams stay identical
+// because SpawnCont, RecvCont and the pfs cont ops schedule exactly the
+// events their blocking counterparts do.
 func (a *Adaptive) spawnSC(r *mpisim.Rank, st *stepState, g int, done *simkernel.WaitGroup) {
-	members := st.groups[g]
-	coordRank := 0
-	a.w.Kernel().Spawn(fmt.Sprintf("SC[g%d]", g), func(p *simkernel.Proc) {
-		defer done.Done()
-		st.start.Wait(p)
-
-		waiting := append([]int(nil), members...) // writers not yet signalled
-		myOffset := int64(0)
-		activeOnMyFile := 0
-		completedOwn := 0
-		missingIndices := 0
-		scCompleteSent := false
-		loopDone := false
-		// ownDead latches when a write to our own file fails with
-		// ErrTargetDown: stop feeding the own file and probe again after a
-		// backoff (the timeout distinguishes dead from merely slow — slow
-		// writes complete, dead ones fail). Waiting writers remain available
-		// for adaptive redirection to healthy targets meanwhile.
-		ownDead := false
-		// Pre-size the index accumulation for the typical case — every
-		// member writes to its own group's file (st.dataOf is complete once
-		// start has broadcast). Adaptive redirection shifts writers between
-		// files, so this is a capacity hint, not a bound; append growth
-		// covers the imbalance.
-		nE, nD := 0, 0
-		for _, w := range members {
-			nE += len(st.dataOf[w].Vars)
-			for _, v := range st.dataOf[w].Vars {
-				nD += len(v.Dims)
-			}
-		}
-		indexEntries := make([]bp.VarEntry, 0, nE)
-		indexDims := make([]uint64, 0, nD)
-
-		signalNext := func() {
-			if ownDead {
-				return
-			}
-			for activeOnMyFile < a.cfg.WritersPerTarget && len(waiting) > 0 {
-				wtr := waiting[0]
-				waiting = waiting[1:]
-				r.SendFrom(r.Rank(), wtr, tagToWriter, msgWriteGo{TargetGroup: g, Offset: myOffset})
-				myOffset += st.dataOf[wtr].TotalBytes()
-				activeOnMyFile++
-			}
-		}
-
-		for !loopDone || missingIndices > 0 {
-			// Algorithm 2 line 2: keep our own target fed.
-			if !loopDone {
-				signalNext()
-			}
-			m := r.RecvAs(p, mpisim.AnySource, tagToSC)
-			switch msg := m.Data.(type) {
-			case msgWriteComplete:
-				if msg.SourceGroup == g && msg.TargetGroup != g {
-					// One of mine completed an adaptive write elsewhere:
-					// forward to C (Algorithm 2 line 6).
-					r.SendFrom(r.Rank(), coordRank, tagToC, msgAdaptiveDone{
-						SourceGroup: g, TargetGroup: msg.TargetGroup, Bytes: msg.Bytes,
-					})
-					completedOwn++
-				}
-				if msg.TargetGroup == g {
-					// A write to my file finished: slot free, and an index
-					// body is now owed to me (lines 8–11).
-					if msg.SourceGroup == g {
-						activeOnMyFile--
-						completedOwn++
-					}
-					missingIndices++
-				}
-				if completedOwn == len(members) && !scCompleteSent {
-					scCompleteSent = true
-					r.SendFrom(r.Rank(), coordRank, tagToC, msgSCComplete{Group: g, FinalOffset: myOffset})
-				}
-			case msgIndexBody:
-				indexEntries, indexDims = iomethod.AppendEntries(
-					indexEntries, indexDims, msg.Writer, msg.Offset, st.dataOf[msg.Writer])
-				missingIndices--
-			case msgWriteFailed:
-				// The writer's assigned target died past its timeout:
-				// requeue the writer for another assignment.
-				waiting = append(waiting, msg.Writer)
-				if msg.TargetGroup == g {
-					// Our own target. Free the slot, latch ownDead, and
-					// schedule a retry probe one timeout from now.
-					activeOnMyFile--
-					if !ownDead {
-						ownDead = true
-						a.w.Kernel().AfterSeconds(a.fs.Cfg.DeadTimeout, func() {
-							r.SendFrom(r.Rank(), r.Rank(), tagToSC, msgRetryOwn{})
-						})
-					}
-				} else {
-					// A failed adaptive redirect: release C's request slot
-					// and let it blacklist the target (Algorithm 3 keeps the
-					// offset unchanged — nothing landed).
-					r.SendFrom(r.Rank(), coordRank, tagToC, msgAdaptiveFailed{
-						SourceGroup: g, TargetGroup: msg.TargetGroup,
-					})
-				}
-			case msgRetryOwn:
-				ownDead = false
-			case msgAdaptiveStart:
-				if len(waiting) == 0 {
-					r.SendFrom(r.Rank(), coordRank, tagToC, msgWritersBusy{Group: g, TargetGroup: msg.TargetGroup})
-				} else {
-					wtr := waiting[0]
-					waiting = waiting[1:]
-					r.SendFrom(r.Rank(), wtr, tagToWriter, msgWriteGo{
-						TargetGroup: msg.TargetGroup, Offset: msg.Offset,
-					})
-				}
-			case msgOverallComplete:
-				loopDone = true
-			default:
-				panic(fmt.Sprintf("core: SC[g%d] unexpected message %T", g, m.Data))
-			}
-		}
-
-		// Algorithm 2 epilogue: sort and merge the index pieces, write the
-		// local index, send it to C.
-		li := bp.LocalIndex{File: st.fileNames[g], Entries: indexEntries}
-		li.Sort()
-		encLen, err := li.EncodedLen()
-		if err != nil {
-			panic(err)
-		}
-		file := st.files[g]
-		if _, aerr := file.Append(p, int64(encLen)); aerr != nil {
-			// The on-disk footer is lost with its target; the in-memory
-			// index still travels to C, so the data stays findable.
-			st.res.WriteFailures++
-			file.Close(p)
-		} else {
-			st.res.IndexBytes += float64(encLen)
-			// Explicit flush before close (the paper's measurement protocol).
-			file.Flush(p)
-			file.Close(p)
-		}
-		r.SendFrom(r.Rank(), coordRank, tagToC, msgLocalIndex{Group: g, Index: li})
-	})
+	s := &st.scs[g]
+	s.arm(a, r, st, g, done)
+	a.w.Kernel().SpawnCont(fmt.Sprintf("SC[g%d]", g), s)
 }
 
 // groupPhase is C's view of an SC's state (Algorithm 3).
@@ -557,156 +452,12 @@ const (
 )
 
 // spawnC launches the coordinator loop (Algorithm 3) as a helper process on
-// rank 0.
+// rank 0 — like spawnSC, always as a continuation state machine (cCont,
+// pump.go) regardless of which engine runs the rank bodies.
 func (a *Adaptive) spawnC(r *mpisim.Rank, st *stepState, done *simkernel.WaitGroup) {
-	numGroups := len(st.groups)
-	a.w.Kernel().Spawn("C", func(p *simkernel.Proc) {
-		defer done.Done()
-		st.start.Wait(p)
-
-		phase := make([]groupPhase, numGroups)
-		offsets := make([]int64, numGroups)   // file-end offsets, valid once complete
-		targetFree := make([]int, numGroups)  // free write slots on completed targets
-		deadTarget := make([]bool, numGroups) // targets blacklisted by a failed adaptive write
-		speed := make([]float64, numGroups)   // observed bandwidth per target (HistoryAware)
-		cursor := 0                           // rotation over SCs, to spread requests
-		outstanding := 0                      // in-flight adaptive requests
-		completes := 0
-		tStart := p.Now()
-
-		// nextWritingSC returns the next group in writing phase, rotating,
-		// or -1.
-		nextWritingSC := func() int {
-			for i := 0; i < numGroups; i++ {
-				gg := (cursor + i) % numGroups
-				if phase[gg] == phaseWriting {
-					cursor = (gg + 1) % numGroups
-					return gg
-				}
-			}
-			return -1
-		}
-		// idleTargets returns the dispatchable targets, in scan order or —
-		// with HistoryAware — fastest-first by observed bandwidth.
-		idleTargets := func() []int {
-			var ts []int
-			for t := 0; t < numGroups; t++ {
-				if phase[t] == phaseComplete && targetFree[t] > 0 && !deadTarget[t] {
-					ts = append(ts, t)
-				}
-			}
-			if a.cfg.HistoryAware {
-				sortByDesc(ts, func(t int) float64 { return speed[t] })
-			}
-			return ts
-		}
-		// dispatch pairs idle completed targets with writing SCs
-		// ("adaptive writing requests are spread evenly among the sub
-		// coordinators").
-		dispatch := func() {
-			if a.cfg.DisableAdaptation {
-				return
-			}
-			for _, t := range idleTargets() {
-				for targetFree[t] > 0 {
-					sc := nextWritingSC()
-					if sc < 0 {
-						return
-					}
-					targetFree[t]--
-					outstanding++
-					r.SendFrom(0, st.groups[sc][0], tagToSC, msgAdaptiveStart{
-						TargetGroup: t, Offset: offsets[t],
-					})
-					// The offset advances only at completion; one request
-					// in flight per target keeps offsets consistent.
-				}
-			}
-		}
-
-		for completes < numGroups || outstanding > 0 {
-			m := r.RecvAs(p, mpisim.AnySource, tagToC)
-			switch msg := m.Data.(type) {
-			case msgSCComplete:
-				phase[msg.Group] = phaseComplete
-				offsets[msg.Group] = msg.FinalOffset
-				if el := (p.Now() - tStart).Seconds(); el > 0 {
-					speed[msg.Group] = float64(msg.FinalOffset) / el
-				}
-				// Adaptive writes to a completed file stay serialised (one
-				// request in flight per target) because the next append
-				// offset is only learned from the completion report. The
-				// WritersPerTarget generalisation applies to a group's own
-				// file, as in the paper.
-				targetFree[msg.Group] = 1
-				completes++
-				dispatch()
-			case msgAdaptiveDone:
-				offsets[msg.TargetGroup] += msg.Bytes
-				targetFree[msg.TargetGroup]++
-				outstanding--
-				dispatch()
-			case msgAdaptiveFailed:
-				// The redirect target is dead: blacklist it (its slot is not
-				// returned — nothing can land there) and redispatch the
-				// requeued writer elsewhere. A dead target stays blacklisted
-				// for the rest of the step; the conservative choice costs at
-				// most the work it could have absorbed after reviving.
-				deadTarget[msg.TargetGroup] = true
-				outstanding--
-				dispatch()
-			case msgWritersBusy:
-				// Guard against the race where the SC completed (and we
-				// already marked it so) between our request and its refusal:
-				// never downgrade a completed group.
-				if phase[msg.Group] == phaseWriting {
-					phase[msg.Group] = phaseBusy
-				}
-				targetFree[msg.TargetGroup]++
-				outstanding--
-				dispatch()
-			default:
-				panic(fmt.Sprintf("core: C unexpected message %T", m.Data))
-			}
-		}
-
-		// Release the sub-coordinators to write their local indices.
-		for g := 0; g < numGroups; g++ {
-			r.SendFrom(0, st.groups[g][0], tagToSC, msgOverallComplete{})
-		}
-
-		// Gather index pieces, merge into the global index, write it.
-		global := &bp.GlobalIndex{Step: int64(st.seq)}
-		for i := 0; i < numGroups; i++ {
-			m := r.RecvAs(p, mpisim.AnySource, tagToC)
-			li, ok := m.Data.(msgLocalIndex)
-			if !ok {
-				panic(fmt.Sprintf("core: C expected local index, got %T", m.Data))
-			}
-			global.Locals = append(global.Locals, li.Index)
-		}
-		global.Sort()
-		st.res.Global = global
-		if a.cfg.WriteGlobalIndex {
-			encLen, err := global.EncodedLen()
-			if err != nil {
-				panic(err)
-			}
-			gf, err := a.fs.Create(p, st.name+".gidx.bp", pfs.Layout{StripeCount: 1})
-			if err != nil {
-				panic(err)
-			}
-			if werr := gf.WriteAt(p, 0, int64(encLen)); werr != nil {
-				// Global index lost; the per-file indices (and res.Global)
-				// survive, matching the paper's interim deployment.
-				st.res.WriteFailures++
-			} else {
-				st.res.IndexBytes += float64(encLen)
-				gf.Flush(p)
-			}
-			gf.Close(p)
-		}
-	})
+	s := &st.cc
+	s.arm(a, r, st, done)
+	a.w.Kernel().SpawnCont("C", s)
 }
 
 // Groups exposes the group plan for a hypothetical world size (testing and
@@ -715,11 +466,12 @@ func (a *Adaptive) Groups(worldSize int) [][]int {
 	return planGroups(worldSize, len(a.cfg.OSTs))
 }
 
-// sortByDesc sorts xs in place by descending key (stable insertion sort —
-// target lists are short).
-func sortByDesc(xs []int, key func(int) float64) {
+// sortByDesc sorts xs in place by descending key[x] (stable insertion sort —
+// target lists are short). Taking the key as a slice rather than a closure
+// keeps the coordinator's dispatch path free of per-call closure allocation.
+func sortByDesc(xs []int, key []float64) {
 	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && key(xs[j]) > key(xs[j-1]); j-- {
+		for j := i; j > 0 && key[xs[j]] > key[xs[j-1]]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}

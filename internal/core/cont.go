@@ -11,10 +11,10 @@ import (
 
 // The continuation form of WriteStep: the straight-line writer role (and
 // the setup/join bookkeeping around it) runs as a run-to-completion state
-// machine, while the genuinely branching coordinator loops — the
-// sub-coordinator (Algorithm 2) and coordinator (Algorithm 3) — stay on
-// goroutines, spawned from inside the machine exactly where WriteStep
-// spawns them. Both engines schedule identical events.
+// machine. The sub-coordinator (Algorithm 2) and coordinator (Algorithm 3)
+// pumps are continuation machines on both engines (pump.go), spawned from
+// inside this machine exactly where WriteStep spawns them. Both engines
+// schedule identical events.
 
 // stepCont is one rank's adaptive collective step in flight.
 type stepCont struct {
@@ -122,11 +122,12 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 				return false
 			}
 		case 5:
-			go_ := s.recv.Msg().Data.(msgWriteGo)
+			env := s.recv.Msg().Data.(*scMsg)
 			s.total = s.data.TotalBytes()
-			s.target = go_.TargetGroup
-			s.offset = go_.Offset
-			s.write.BeginWrite(st.files[go_.TargetGroup], go_.Offset, s.total)
+			s.target = env.target
+			s.offset = env.offset
+			a.pool.put(env)
+			s.write.BeginWrite(st.files[s.target], s.offset, s.total)
 			s.pc = 6
 		case 6:
 			if !s.write.Step(c) {
@@ -137,9 +138,9 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 				// this writer) and go back to waiting for an assignment,
 				// mirroring the goroutine writerRole's retry loop.
 				st.res.WriteFailures++
-				s.r.Send(st.groups[s.g][0], tagToSC, msgWriteFailed{ //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
-					Writer: s.rank, SourceGroup: s.g, TargetGroup: s.target,
-				})
+				fl := a.pool.get(kindWriteFailed)
+				fl.writer, fl.source, fl.target = s.rank, s.g, s.target
+				s.r.Send(st.groups[s.g][0], tagToSC, fl)
 				s.pc = 5
 				if !s.r.RecvCont(&s.recv, c, mpisim.AnySource, tagToWriter) {
 					return false
@@ -153,14 +154,21 @@ func (s *stepCont) Step(c *simkernel.ContProc) bool {
 			}
 			triggeringSC := st.groups[s.g][0]
 			targetSC := st.groups[s.target][0]
-			done := msgWriteComplete{Writer: s.rank, SourceGroup: s.g, TargetGroup: s.target, Bytes: s.total}
-			s.r.Send(triggeringSC, tagToSC, done) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+			done := a.pool.get(kindWriteComplete)
+			done.writer, done.source, done.target, done.bytes = s.rank, s.g, s.target, s.total
+			s.r.Send(triggeringSC, tagToSC, done)
 			if targetSC != triggeringSC {
-				s.r.Send(targetSC, tagToSC, done) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+				// Each in-flight message owns its envelope (the receiver
+				// recycles it), so the fan-out is two envelopes.
+				done2 := a.pool.get(kindWriteComplete)
+				done2.writer, done2.source, done2.target, done2.bytes = s.rank, s.g, s.target, s.total
+				s.r.Send(targetSC, tagToSC, done2)
 			}
 			// The index travels separately and after the data, so its
 			// transfer overlaps the next writer's data (Section III-B.1).
-			s.r.Send(targetSC, tagToSC, msgIndexBody{Writer: s.rank, Offset: s.offset}) //repro:allow hotpath wire messages box into any, exactly as on the goroutine path
+			ib := a.pool.get(kindIndexBody)
+			ib.writer, ib.offset = s.rank, s.offset
+			s.r.Send(targetSC, tagToSC, ib)
 			s.pc = 7
 		case 7:
 			if s.isSC && !s.scDone.WaitCont(c) {

@@ -120,6 +120,25 @@ func TestEngineBitIdenticalJobMix(t *testing.T) {
 	}
 }
 
+// TestEngineBitIdenticalFailureSweep extends the engine pin to the failure
+// lifecycle: dead-OST retry probes, failure counts, and outage accounting run
+// through the adaptive message pumps, so the sweep must not notice whether
+// those pumps carry goroutine or continuation rank bodies.
+func TestEngineBitIdenticalFailureSweep(t *testing.T) {
+	for _, parallel := range []int{1, 8} {
+		opts := FailureSweepOptions{Procs: 16, Samples: 2, NumOSTs: 8, Seed: 23, Parallel: parallel}
+		cont, gor := bothEngines(t, func() (*FailureSweepResult, error) { return FailureSweep(opts) })
+		if !reflect.DeepEqual(cont.Cases, gor.Cases) {
+			t.Errorf("parallel=%d: failure-sweep cases diverged between engines:\ncont: %+v\ngoroutine: %+v",
+				parallel, cont.Cases, gor.Cases)
+		}
+		ct, gt := FailureSweepTable(cont), FailureSweepTable(gor)
+		if ct.Render() != gt.Render() {
+			t.Errorf("parallel=%d: rendered failure-sweep table diverged between engines", parallel)
+		}
+	}
+}
+
 // TestEngineBitIdenticalCombinedEscapeHatches pins the full escape-hatch
 // matrix: REPRO_NO_CONT (goroutine rank bodies) and REPRO_NO_REUSE (fresh
 // worlds per replica) composed together must still be bit-identical to the

@@ -6,9 +6,11 @@ package mpisim
 // the kernel resumes its Step inline on every wakeup, with no channel
 // handoff. The message-passing state (per-rank queues, waiter lists,
 // delivery events) is shared between both engines, so a world may mix
-// LaunchCont ranks with goroutine helper roles (the adaptive method's
-// sub-coordinator and coordinator loops stay on goroutines) and the event
-// schedule is identical either way.
+// LaunchCont ranks with goroutine ranks and the event schedule is
+// identical either way. The adaptive method's sub-coordinator and
+// coordinator pumps are continuation machines on both engines (core's
+// pump.go), spawned directly via Kernel.SpawnCont alongside whichever
+// engine carries the rank bodies.
 
 import (
 	"repro/internal/simkernel"
@@ -99,7 +101,7 @@ func (r *Rank) RecvCont(o *RecvOp, c *simkernel.ContProc, from, tag int) bool {
 	}
 	o.inline = false
 	o.w = recvWaiter{from: from, tag: tag, proc: c.Proc(), wake: c.Waker()}
-	r.waiters = append(r.waiters, &o.w)
+	r.waiters.Push(&o.w)
 	c.Pause()
 	return false
 }

@@ -160,19 +160,13 @@ func (w *World) Reset(opt Options) {
 	w.MessagesSent = 0
 	for _, r := range w.ranks {
 		r.p = nil
-		for i := range r.queue {
-			r.queue[i] = Message{}
-		}
-		r.queue = r.queue[:0]
+		r.queue.Reset()
 		// Waiters parked at reset time belong to processes the kernel
 		// Reset already unwound. Drop them without recycling: a
 		// continuation-side waiter is embedded in its RecvOp (not
 		// freelist-owned), and pushing it onto wfree would let a later
 		// RecvAs scribble over a machine the next replica reuses.
-		for i := range r.waiters {
-			r.waiters[i] = nil
-		}
-		r.waiters = r.waiters[:0]
+		r.waiters.Reset()
 	}
 }
 
@@ -237,8 +231,8 @@ type Rank struct {
 	rank int
 	p    *simkernel.Proc
 
-	queue   []Message
-	waiters []*recvWaiter
+	queue   simkernel.Ring[Message]
+	waiters simkernel.Ring[*recvWaiter]
 	wfree   []*recvWaiter // recycled RecvAs waiter records
 }
 
@@ -267,16 +261,17 @@ func (r *Rank) Send(to, tag int, data any) {
 //
 //repro:hotpath
 func (dst *Rank) deliver(m Message) {
-	for i, w := range dst.waiters {
+	for i, n := 0, dst.waiters.Len(); i < n; i++ {
+		w := dst.waiters.At(i)
 		if !w.has && matches(w.from, w.tag, m) {
 			w.msg = m
 			w.has = true
-			dst.waiters = append(dst.waiters[:i], dst.waiters[i+1:]...)
+			dst.waiters.RemoveAt(i)
 			w.wake()
 			return
 		}
 	}
-	dst.queue = append(dst.queue, m)
+	dst.queue.Push(m)
 }
 
 // Recv blocks until a message matching (from, tag) arrives and returns it.
@@ -292,10 +287,9 @@ func (r *Rank) Recv(from, tag int) Message {
 // on the rank's mailbox with its own tag space. Concurrent receivers must
 // use disjoint tag patterns, or one role will steal another's messages.
 func (r *Rank) RecvAs(p *simkernel.Proc, from, tag int) Message {
-	for i, m := range r.queue {
-		if matches(from, tag, m) {
-			r.queue = append(r.queue[:i], r.queue[i+1:]...)
-			return m
+	for i, n := 0, r.queue.Len(); i < n; i++ {
+		if matches(from, tag, r.queue.At(i)) {
+			return r.queue.RemoveAt(i)
 		}
 	}
 	var w *recvWaiter
@@ -307,7 +301,7 @@ func (r *Rank) RecvAs(p *simkernel.Proc, from, tag int) Message {
 	} else {
 		w = &recvWaiter{from: from, tag: tag, proc: p, wake: p.Waker()}
 	}
-	r.waiters = append(r.waiters, w)
+	r.waiters.Push(w)
 	p.Suspend()
 	if !w.has {
 		panic("mpisim: Recv woke without a message")
@@ -326,17 +320,16 @@ func (r *Rank) SendFrom(asFrom, to, tag int, data any) {
 
 // TryRecv returns a matching queued message without blocking.
 func (r *Rank) TryRecv(from, tag int) (Message, bool) {
-	for i, m := range r.queue {
-		if matches(from, tag, m) {
-			r.queue = append(r.queue[:i], r.queue[i+1:]...)
-			return m, true
+	for i, n := 0, r.queue.Len(); i < n; i++ {
+		if matches(from, tag, r.queue.At(i)) {
+			return r.queue.RemoveAt(i), true
 		}
 	}
 	return Message{}, false
 }
 
 // Pending reports the number of queued undelivered messages at this rank.
-func (r *Rank) Pending() int { return len(r.queue) }
+func (r *Rank) Pending() int { return r.queue.Len() }
 
 // Barrier blocks until all ranks of the world have entered it. The release
 // costs one latency plus log2(size) fan-out hops, approximating a tree
@@ -407,7 +400,7 @@ func (r *Rank) Bcast(root int, data any) any {
 // non-roots return 0.
 func (r *Rank) ReduceFloat64(root int, v float64, op func(a, b float64) float64) float64 {
 	if r.rank != root {
-		r.Send(root, tagReduce, v)
+		r.Send(root, tagReduce, v) //repro:allow hotpath once-per-run collective; the float64 box is not steady-state traffic
 		return 0
 	}
 	acc := v

@@ -1,0 +1,271 @@
+package simkernel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringDrain pops everything and returns the contents in FIFO order.
+func ringDrain(r *Ring[int]) []int {
+	out := make([]int, 0, r.Len())
+	for r.Len() > 0 {
+		out = append(out, r.Pop())
+	}
+	return out
+}
+
+func TestRingPushPopOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 20; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", r.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop #%d = %d, want %d", i, got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", r.Len())
+	}
+}
+
+// TestRingWrap interleaves pushes and pops so the occupied region straddles
+// the end of the backing array, then grows mid-wrap: order must survive both.
+func TestRingWrap(t *testing.T) {
+	var r Ring[int]
+	next := 0 // next value to push
+	want := 0 // next value expected from Pop
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 5; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if got := r.Pop(); got != want {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, want)
+			}
+			want++
+		}
+	}
+	// 12 elements remain, head well past zero; force one more grow.
+	for i := 0; i < 20; i++ {
+		r.Push(next)
+		next++
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != want {
+			t.Fatalf("drain: Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d values, pushed %d", want, next)
+	}
+}
+
+func TestRingAt(t *testing.T) {
+	var r Ring[int]
+	// Offset the head so At must wrap.
+	for i := 0; i < 6; i++ {
+		r.Push(-1)
+	}
+	for i := 0; i < 6; i++ {
+		r.Pop()
+	}
+	for i := 0; i < 7; i++ {
+		r.Push(10 + i)
+	}
+	for i := 0; i < 7; i++ {
+		if got := r.At(i); got != 10+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 10+i)
+		}
+	}
+}
+
+// TestRingRemoveAt checks order preservation against a reference slice for
+// removals at every index, with the head offset to force wrapped shifts.
+func TestRingRemoveAt(t *testing.T) {
+	for offset := 0; offset < 8; offset++ {
+		for remove := 0; remove < 8; remove++ {
+			var r Ring[int]
+			for i := 0; i < offset; i++ {
+				r.Push(-1)
+			}
+			for i := 0; i < offset; i++ {
+				r.Pop()
+			}
+			ref := make([]int, 0, 8)
+			for i := 0; i < 8; i++ {
+				r.Push(i)
+				ref = append(ref, i)
+			}
+			if got := r.RemoveAt(remove); got != ref[remove] {
+				t.Fatalf("offset=%d: RemoveAt(%d) = %d, want %d", offset, remove, got, ref[remove])
+			}
+			ref = append(ref[:remove], ref[remove+1:]...)
+			got := ringDrain(&r)
+			if fmt.Sprint(got) != fmt.Sprint(ref) {
+				t.Fatalf("offset=%d remove=%d: drained %v, want %v", offset, remove, got, ref)
+			}
+		}
+	}
+}
+
+// TestRingReset pins the two Reset guarantees: occupied slots are zeroed (so
+// pooled pointers are not retained past a run) and the backing array is kept
+// (so a recycled world's queues stay allocation-free).
+func TestRingReset(t *testing.T) {
+	var r Ring[*int]
+	for i := 0; i < 10; i++ {
+		v := i
+		r.Push(&v)
+	}
+	r.Pop()
+	capBefore := cap(r.buf)
+	r.Reset()
+	if r.Len() != 0 || r.head != 0 {
+		t.Fatalf("after Reset: Len=%d head=%d, want 0/0", r.Len(), r.head)
+	}
+	for i, p := range r.buf {
+		if p != nil {
+			t.Fatalf("Reset left a live pointer at slot %d", i)
+		}
+	}
+	if cap(r.buf) != capBefore {
+		t.Fatalf("Reset dropped the backing array: cap %d -> %d", capBefore, cap(r.buf))
+	}
+	r.Push(new(int))
+	if r.Len() != 1 {
+		t.Fatalf("ring unusable after Reset")
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	var r Ring[int]
+	mustPanic("Pop on empty", func() { r.Pop() })
+	r.Push(1)
+	mustPanic("At(1) with one element", func() { r.At(1) })
+	mustPanic("At(-1)", func() { r.At(-1) })
+	mustPanic("RemoveAt(1) with one element", func() { r.RemoveAt(1) })
+}
+
+// recvTapCont parks in RecvCont once and hands the received message to sink,
+// logging its progress so tests can pin exactly when the body ran.
+type recvTapCont struct {
+	m    *Mailbox
+	log  *[]string
+	tag  string
+	sink func(v any)
+	recv RecvOp
+	pc   int
+}
+
+func (r *recvTapCont) Step(c *ContProc) bool {
+	switch r.pc {
+	case 0:
+		*r.log = append(*r.log, r.tag+" blocked")
+		r.pc = 1
+		if !r.m.RecvCont(&r.recv, c) {
+			return false
+		}
+		fallthrough
+	default:
+		*r.log = append(*r.log, fmt.Sprintf("%s got %v@%v", r.tag, r.recv.Msg(), c.Kernel().Now()))
+		if r.sink != nil {
+			r.sink(r.recv.Msg())
+		}
+		return true
+	}
+}
+
+// TestMailboxDirectDelivery pins the fast path: a cont-parked receiver is
+// resumed inline by Send — by the time Send returns, the receiver has already
+// consumed the message, with no intervening event and no time advance.
+func TestMailboxDirectDelivery(t *testing.T) {
+	k := New()
+	m := NewMailbox(k)
+	var log []string
+	k.SpawnCont("rx", &recvTapCont{m: m, log: &log, tag: "rx"})
+	k.After(5, func() {
+		log = append(log, "send")
+		m.Send("v")
+		log = append(log, "send returned")
+	})
+	k.Run()
+	want := "[rx blocked send rx got v@0.000000005s send returned]"
+	if got := fmt.Sprint(log); got != want {
+		t.Fatalf("direct delivery order:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMailboxRecvContInline pins the other half of the fast path: a queued
+// message completes RecvCont without parking at all.
+func TestMailboxRecvContInline(t *testing.T) {
+	k := New()
+	m := NewMailbox(k)
+	m.Send("early")
+	var log []string
+	k.SpawnCont("rx", &recvTapCont{m: m, log: &log, tag: "rx"})
+	k.Run()
+	// "blocked" still logs (it precedes the RecvCont call), but the message
+	// arrives in the same Step at t=0.
+	want := "[rx blocked rx got early@0.000000000s]"
+	if got := fmt.Sprint(log); got != want {
+		t.Fatalf("inline receive order:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMailboxMixedWaitersFIFO blocks a goroutine receiver and a continuation
+// receiver on one mailbox and sends two messages: competing receivers must be
+// served in the order they blocked regardless of engine, with the goroutine
+// waiter woken through a scheduled event and the cont waiter woken inline.
+func TestMailboxMixedWaitersFIFO(t *testing.T) {
+	k := New()
+	m := NewMailbox(k)
+	var log []string
+	got := map[string]any{}
+	k.Spawn("g", func(p *Proc) {
+		log = append(log, "g blocked")
+		got["g"] = m.Recv(p)
+		log = append(log, fmt.Sprintf("g got %v@%v", got["g"], k.Now()))
+	})
+	k.SpawnCont("c", &recvTapCont{m: m, log: &log, tag: "c", sink: func(v any) { got["c"] = v }})
+	k.After(5, func() {
+		m.Send("a")
+		m.Send("b")
+	})
+	k.Run()
+	k.Shutdown()
+	if got["g"] != "a" || got["c"] != "b" {
+		t.Fatalf("FIFO violated: g=%v c=%v, want g=a c=b", got["g"], got["c"])
+	}
+	// The cont waiter's wake is inline within the Send, the goroutine's is a
+	// scheduled event — so c logs first, but both at t=5.
+	want := "[g blocked c blocked c got b@0.000000005s g got a@0.000000005s]"
+	if gotLog := fmt.Sprint(log); gotLog != want {
+		t.Fatalf("mixed-waiter order:\n got %s\nwant %s", gotLog, want)
+	}
+}
+
+// TestRecvOpPanicsBeforeArrival pins the protocol guard on RecvOp.Msg.
+func TestRecvOpPanicsBeforeArrival(t *testing.T) {
+	var o RecvOp
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Msg on incomplete RecvOp did not panic")
+		}
+	}()
+	o.Msg()
+}

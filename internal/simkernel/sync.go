@@ -8,11 +8,20 @@ package simkernel
 // processes. Send never blocks; Recv blocks the calling process until a
 // message is available. Delivery order is deterministic: messages are
 // received in send order, and competing receivers are served in the order
-// they blocked.
+// they blocked. Queue and waiter list are ring buffers, so deep queues under
+// write storms dequeue in O(1) instead of the old copy-shift O(n).
 type Mailbox struct {
 	k       *Kernel
-	queue   []any
-	waiters []*Proc
+	queue   Ring[any]
+	waiters Ring[mboxWaiter]
+}
+
+// mboxWaiter is one blocked receiver. Goroutine receivers (op == nil) are
+// woken through a scheduled event and re-check the queue themselves;
+// continuation receivers carry the RecvOp that Send completes directly.
+type mboxWaiter struct {
+	p  *Proc
+	op *RecvOp
 }
 
 // NewMailbox creates a mailbox bound to kernel k.
@@ -21,51 +30,104 @@ func NewMailbox(k *Kernel) *Mailbox {
 }
 
 // Len reports the number of queued (undelivered) messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox) Len() int { return m.queue.Len() }
 
-// Send enqueues v. If a process is blocked in Recv, its wakeup is scheduled
-// at the current virtual time (it runs after the sender parks or returns to
-// the kernel). Send is callable from both process and kernel context.
+// Send enqueues v. If a goroutine process is blocked in Recv, its wakeup is
+// scheduled at the current virtual time (it runs after the sender parks or
+// returns to the kernel). If the front waiter is a cont-parked continuation
+// receiver, Send takes the direct-delivery fast path: the value is handed to
+// its RecvOp and the receiver's state machine is resumed inline at the
+// current timestamp, skipping the event queue entirely. That is safe
+// precisely because a parked continuation holds no stack: resuming it is an
+// ordinary function call on the sender's stack, and any messages already in
+// the queue belong to earlier, already-woken receivers, so FIFO order is
+// preserved. Send is callable from both process and kernel context.
+//
+//repro:hotpath
 func (m *Mailbox) Send(v any) {
-	m.queue = append(m.queue, v)
-	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		copy(m.waiters, m.waiters[1:])
-		m.waiters = m.waiters[:len(m.waiters)-1]
-		m.k.scheduleProc(m.k.now, w)
+	if m.waiters.Len() > 0 {
+		w := m.waiters.Pop()
+		if w.op != nil {
+			w.op.msg = v
+			w.op.has = true
+			w.p.resumeCont(wakeRun)
+			return
+		}
+		m.queue.Push(v)
+		m.k.scheduleProc(m.k.now, w.p)
+		return
 	}
+	m.queue.Push(v)
 }
 
 // SendAfter enqueues v after virtual duration d (modelling, e.g., message
 // latency). Callable from both process and kernel context.
 func (m *Mailbox) SendAfter(d Time, v any) {
-	m.k.scheduleFn(m.k.now+d, func() { m.Send(v) })
+	m.k.scheduleFn(m.k.now+d, func() { m.Send(v) }) //repro:allow hotpath delayed-send convenience path; latency-critical senders use Send
 }
 
 // Recv blocks p until a message is available and returns it.
+//
+//repro:hotpath
 func (m *Mailbox) Recv(p *Proc) any {
-	for len(m.queue) == 0 {
-		m.waiters = append(m.waiters, p)
+	for m.queue.Len() == 0 {
+		m.waiters.Push(mboxWaiter{p: p})
 		p.park()
 	}
-	v := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue[len(m.queue)-1] = nil
-	m.queue = m.queue[:len(m.queue)-1]
-	return v
+	return m.queue.Pop()
 }
 
 // TryRecv returns the next message without blocking; ok is false when the
 // mailbox is empty.
+//
+//repro:hotpath
 func (m *Mailbox) TryRecv() (v any, ok bool) {
-	if len(m.queue) == 0 {
+	if m.queue.Len() == 0 {
 		return nil, false
 	}
-	v = m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue[len(m.queue)-1] = nil
-	m.queue = m.queue[:len(m.queue)-1]
-	return v, true
+	return m.queue.Pop(), true
+}
+
+// RecvOp is a mailbox receive in flight on behalf of a continuation body,
+// advance style: embed it in the state machine and call Mailbox.RecvCont.
+// A true return means the message is already available in Msg; on false the
+// body must advance its program counter past the receive and yield — the
+// wake (direct delivery from Send) has already stored the message, so the
+// resumed state reads Msg without re-calling RecvCont.
+type RecvOp struct {
+	msg any
+	has bool
+}
+
+// Msg returns the received message. It panics if the operation has not
+// completed — a protocol bug (the state machine advanced without a wake).
+//
+//repro:hotpath
+func (o *RecvOp) Msg() any {
+	if !o.has {
+		panic("simkernel: mailbox RecvOp read before a message arrived")
+	}
+	return o.msg
+}
+
+// RecvCont is Recv for a continuation body, advance style. If a message is
+// queued it completes o inline and returns true. Otherwise it registers c as
+// a waiter carrying o and marks it parked; the matching Send will complete o
+// and resume c directly (see Send), so the body must advance past the
+// receive before yielding — it must NOT re-call RecvCont on wake.
+//
+//repro:hotpath
+func (m *Mailbox) RecvCont(o *RecvOp, c *ContProc) bool {
+	if m.queue.Len() > 0 {
+		o.msg = m.queue.Pop()
+		o.has = true
+		return true
+	}
+	o.msg = nil
+	o.has = false
+	m.waiters.Push(mboxWaiter{p: (*Proc)(c), op: o})
+	c.Pause()
+	return false
 }
 
 // Resource is a counted FIFO resource: up to Capacity holders at a time,
@@ -75,7 +137,7 @@ type Resource struct {
 	k        *Kernel //repro:reset-skip immutable wiring to the owning kernel
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  Ring[*Proc]
 
 	// MaxQueue tracks the high-water mark of the wait queue, useful for
 	// diagnosing contention in experiments.
@@ -91,14 +153,16 @@ func NewResource(k *Kernel, capacity int) *Resource {
 }
 
 // Acquire blocks p until a slot is available, then takes it.
+//
+//repro:hotpath
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.Len() == 0 {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
-	if len(r.waiters) > r.MaxQueue {
-		r.MaxQueue = len(r.waiters)
+	r.waiters.Push(p)
+	if r.waiters.Len() > r.MaxQueue {
+		r.MaxQueue = r.waiters.Len()
 	}
 	p.park()
 	// Woken by Release, which transferred the slot to us.
@@ -106,16 +170,15 @@ func (r *Resource) Acquire(p *Proc) {
 
 // Release frees a slot, waking the longest-waiting acquirer if any. Callable
 // from both process and kernel context.
+//
+//repro:hotpath
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("simkernel: Release without Acquire")
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		copy(r.waiters, r.waiters[1:])
-		r.waiters = r.waiters[:len(r.waiters)-1]
+	if r.waiters.Len() > 0 {
 		// Slot transfers directly: inUse stays constant.
-		r.k.scheduleProc(r.k.now, w)
+		r.k.scheduleProc(r.k.now, r.waiters.Pop())
 		return
 	}
 	r.inUse--
@@ -131,10 +194,7 @@ func (r *Resource) Reset(capacity int) {
 	}
 	r.capacity = capacity
 	r.inUse = 0
-	for i := range r.waiters {
-		r.waiters[i] = nil
-	}
-	r.waiters = r.waiters[:0]
+	r.waiters.Reset()
 	r.MaxQueue = 0
 }
 
@@ -142,7 +202,7 @@ func (r *Resource) Reset(capacity int) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of waiting acquirers.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.Len() }
 
 // Signal is a broadcast condition: processes block in Wait until some
 // component calls Broadcast, which wakes all of them.
@@ -275,13 +335,13 @@ func (s *Signal) WaitCont(c *ContProc) bool {
 //
 //repro:hotpath
 func (r *Resource) AcquireCont(c *ContProc) bool {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.Len() == 0 {
 		r.inUse++
 		return true
 	}
-	r.waiters = append(r.waiters, (*Proc)(c))
-	if len(r.waiters) > r.MaxQueue {
-		r.MaxQueue = len(r.waiters)
+	r.waiters.Push((*Proc)(c))
+	if r.waiters.Len() > r.MaxQueue {
+		r.MaxQueue = r.waiters.Len()
 	}
 	c.Pause()
 	return false
