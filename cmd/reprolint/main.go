@@ -1,12 +1,15 @@
 // Reprolint is the multichecker for the repro static-analysis suite
-// (internal/analysis): nodeterm, rngxonly, hotpath and resetcomplete.
+// (internal/analysis): nodeterm, rngxonly, hotpath, resetcomplete, poolown,
+// contblock and ringdiscipline.
 //
 // It runs two ways:
 //
-//	reprolint [packages]
+//	reprolint [-json] [packages]
 //		Standalone: loads the named package patterns (default ./...) through
 //		`go list -deps -export`, analyzes every package including test files,
-//		prints findings and exits 2 if there were any.
+//		prints findings and exits 2 if there were any. With -json the
+//		findings go to stdout as one JSON array of {file, line, column,
+//		analyzer, message, package} objects instead of text on stderr.
 //
 //	go vet -vettool=$(which reprolint) ./...
 //		As cmd/go's vet tool, speaking the unit-checker protocol: cmd/go
@@ -43,8 +46,9 @@ func main() {
 	// build cache can tell tool versions apart.
 	versionFlag := flag.String("V", "", "print version and exit (cmd/go protocol)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit (cmd/go protocol)")
+	jsonFlag := flag.Bool("json", false, "standalone mode: print findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [packages]\n   or: go vet -vettool=$(which reprolint) [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [-json] [packages]\n   or: go vet -vettool=$(which reprolint) [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,7 +69,7 @@ func main() {
 		runUnitchecker(args[0])
 		return
 	}
-	runStandalone(args)
+	runStandalone(args, *jsonFlag)
 }
 
 func printVersion() {
@@ -79,7 +83,7 @@ func printVersion() {
 	fmt.Printf("reprolint version devel buildID=%x\n", h.Sum(nil)[:16])
 }
 
-func runStandalone(patterns []string) {
+func runStandalone(patterns []string, asJSON bool) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -88,19 +92,25 @@ func runStandalone(patterns []string) {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(1)
 	}
-	found := false
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunSuite(pkg, analysis.Suite())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reprolint:", err)
 			os.Exit(1)
 		}
-		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		findings = append(findings, analysis.FindingsFrom(pkg, diags)...)
+	}
+	if asJSON {
+		if err := analysis.WriteFindingsJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 		}
 	}
-	if found {
+	if len(findings) > 0 {
 		os.Exit(2)
 	}
 }

@@ -1,7 +1,8 @@
 // Package analysis is reprolint: a vet-style static-analysis suite that
 // enforces, at compile time, the invariants every figure and table of this
-// reproduction rests on — bit-identical replica execution and an
-// allocation-free hot loop. Four analyzers cover the four invariant classes:
+// reproduction rests on — bit-identical replica execution, an
+// allocation-free hot loop, and the continuation engine's ownership and
+// blocking discipline. Seven analyzers cover the invariant classes:
 //
 //   - nodeterm: no ambient wall-clock or randomness on the simulation path,
 //     and no iteration-order-dependent map ranges in simulation packages.
@@ -14,6 +15,13 @@
 //     in Reset, reached through a callee's reset, or explicitly waived with
 //     //repro:reset-skip — making the stale-state bug class introduced by
 //     world reuse a compile-time error.
+//   - poolown: pooled values (wire envelopes, rented worlds) are never
+//     touched after release/handoff and are released on every path —
+//     a forward dataflow over the from-scratch CFG in cfg.go.
+//   - contblock: continuation bodies never call goroutine-blocking kernel
+//     primitives, channel operations, select, go, or sync/time waits.
+//   - ringdiscipline: Ring indices are not reused across mutations, Reset
+//     runs only on reset paths, and nothing reaches into Ring internals.
 //
 // Intentional exceptions use one suppression directive, //repro:allow
 // <analyzer> <reason>, validated by shared machinery (unknown analyzer
@@ -32,6 +40,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check. Run inspects a fully type-checked package
@@ -54,12 +63,22 @@ type Pass struct {
 	// decorations ("pkg [pkg.test]") already stripped.
 	Path string
 
-	report func(Diagnostic)
+	report   func(Diagnostic)
+	markUsed func(token.Pos)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// MarkDirectiveUsed records that the //repro: directive whose comment begins
+// at pos suppressed a finding inside an analyzer (as //repro:reset-skip does
+// in resetcomplete), so the shared staleness check will not flag it as dead.
+func (p *Pass) MarkDirectiveUsed(pos token.Pos) {
+	if p.markUsed != nil {
+		p.markUsed(pos)
+	}
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced it.
@@ -95,7 +114,7 @@ func NewInfo() *types.Info {
 
 // Suite returns the full reprolint analyzer set, in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{NoDeterm, RngxOnly, HotPath, ResetComplete}
+	return []*Analyzer{NoDeterm, RngxOnly, HotPath, ResetComplete, PoolOwn, ContBlock, RingDiscipline}
 }
 
 // suiteNames is the set of analyzer names //repro:allow may reference.
@@ -107,12 +126,31 @@ func suiteNames() map[string]bool {
 	return names
 }
 
+// suiteNameList renders the analyzer names in suite order, for diagnostics.
+func suiteNameList() string {
+	var names []string
+	for _, a := range Suite() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
 // RunSuite runs the given analyzers over one package, applies the
 // //repro:allow suppression machinery, validates every //repro: directive,
 // and returns the surviving diagnostics sorted by position. Analyzer errors
 // (not findings) abort the run.
 func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs := parseDirectives(pkg)
+
+	byPos := make(map[token.Pos]*directive, len(dirs.dirs))
+	for _, d := range dirs.dirs {
+		byPos[d.pos] = d
+	}
+	markUsed := func(pos token.Pos) {
+		if d := byPos[pos]; d != nil {
+			d.used = true
+		}
+	}
 
 	var raw []Diagnostic
 	ran := make(map[string]bool, len(analyzers))
@@ -126,6 +164,7 @@ func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Info:     pkg.Info,
 			Path:     pkg.Path,
 			report:   func(d Diagnostic) { raw = append(raw, d) },
+			markUsed: markUsed,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)

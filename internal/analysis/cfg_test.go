@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns its CFG.
+func parseBody(t *testing.T, body string) *cfg {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return buildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// markersAtExit runs a may-analysis collecting calls to mark("x") and
+// returns the sorted labels that can reach the function exit. It exercises
+// both the CFG builder and the generic solver.
+func markersAtExit(t *testing.T, body string) []string {
+	t.Helper()
+	g := parseBody(t, body)
+	lat := flowLattice[map[string]bool]{
+		transfer: func(s map[string]bool, n ast.Node) map[string]bool {
+			walkShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						s[strings.Trim(lit.Value, `"`)] = true
+					}
+				}
+				return true
+			})
+			return s
+		},
+		join: func(dst, src map[string]bool) (map[string]bool, bool) {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		clone: func(s map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+	}
+	res := solveForward(g, map[string]bool{}, lat)
+	if !res.exitOK {
+		return nil
+	}
+	var out []string
+	for k := range res.exit {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantMarkers(t *testing.T, body string, want ...string) {
+	t.Helper()
+	got := markersAtExit(t, body)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("markers at exit = %v, want %v\nbody:\n%s", got, want, body)
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	wantMarkers(t, `mark("a"); mark("b")`, "a", "b")
+}
+
+func TestCFGIfElse(t *testing.T) {
+	wantMarkers(t, `
+if cond() {
+	mark("then")
+} else {
+	mark("else")
+}
+mark("after")`, "after", "else", "then")
+}
+
+func TestCFGReturnCutsPath(t *testing.T) {
+	wantMarkers(t, `
+if cond() {
+	mark("early")
+	return
+}
+mark("late")`, "early", "late")
+	// But code after an unconditional return never reaches exit.
+	wantMarkers(t, `
+return
+mark("dead")`)
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	wantMarkers(t, `
+if cond() {
+	mark("doomed")
+	panic("boom")
+}
+mark("ok")`, "ok")
+}
+
+func TestCFGForLoop(t *testing.T) {
+	// Loop body may or may not run; break exits to after.
+	wantMarkers(t, `
+for i := 0; i < n; i++ {
+	mark("body")
+	if cond() {
+		break
+	}
+	mark("tail")
+}
+mark("after")`, "after", "body", "tail")
+	// Infinite loop without break never reaches exit.
+	wantMarkers(t, `
+for {
+	mark("spin")
+}`)
+}
+
+func TestCFGRange(t *testing.T) {
+	wantMarkers(t, `
+for _, v := range xs {
+	mark("body")
+	_ = v
+}
+mark("after")`, "after", "body")
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	wantMarkers(t, `
+switch x {
+case 1:
+	mark("one")
+	fallthrough
+case 2:
+	mark("two")
+	return
+default:
+	mark("def")
+}
+mark("after")`, "after", "def", "one", "two")
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	wantMarkers(t, `
+switch x {
+case 1:
+	mark("one")
+}
+mark("after")`, "after", "one")
+}
+
+func TestCFGGoto(t *testing.T) {
+	wantMarkers(t, `
+	if cond() {
+		goto done
+	}
+	mark("mid")
+done:
+	mark("done")`, "done", "mid")
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	wantMarkers(t, `
+outer:
+	for {
+		for {
+			mark("inner")
+			break outer
+		}
+	}
+	mark("after")`, "after", "inner")
+}
+
+func TestCFGSelect(t *testing.T) {
+	wantMarkers(t, `
+select {
+case <-ch:
+	mark("recv")
+case ch2 <- v:
+	mark("send")
+}
+mark("after")`, "after", "recv", "send")
+}
+
+func TestCFGFuncLitBodySkipped(t *testing.T) {
+	// walkShallow must not descend into function literals: the marker in
+	// the closure body belongs to the closure's own analysis.
+	wantMarkers(t, `
+f := func() {
+	mark("closure")
+}
+f()
+mark("after")`, "after")
+}
+
+func TestCFGBlocksAreAtomic(t *testing.T) {
+	// No compound statement may appear as a block node: transfer functions
+	// fold over atoms only.
+	g := parseBody(t, `
+if cond() {
+	for i := 0; i < n; i++ {
+		switch x {
+		case 1:
+			mark("a")
+		}
+	}
+}`)
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+				t.Errorf("compound node %T leaked into block %d", n, blk.index)
+			}
+		}
+	}
+}
+
+func TestPackageFuncBodies(t *testing.T) {
+	src := `package p
+var init0 = func() int { return 0 }()
+func a() { _ = func() {} }
+func b() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := packageFuncBodies([]*ast.File{f})
+	var decls, lits int
+	for _, fb := range bodies {
+		if fb.lit != nil {
+			lits++
+		} else {
+			decls++
+		}
+	}
+	if decls != 2 || lits != 2 {
+		t.Errorf("got %d decls, %d lits; want 2 and 2", decls, lits)
+	}
+}

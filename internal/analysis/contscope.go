@@ -1,0 +1,121 @@
+package analysis
+
+// Shared detection of the continuation-engine audit scope. hotpath and
+// contblock agree on what runs inline on the kernel event loop: any function
+// taking a *simkernel.ContProc, and every method of a type that has one —
+// if any method of a named type takes a *ContProc, the type is a
+// continuation machine, and factoring code out of its Step body must not
+// move that code out of the audit.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// contProcPkg is the package whose ContProc parameter type marks a function
+// as an implicitly hot continuation body.
+const contProcPkg = "repro/internal/simkernel"
+
+// isTestFile reports whether the file is a _test.go file. Test continuation
+// machines exist to exercise semantics, not to be fast or non-blocking, so
+// the implicit audit rules skip them.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// contMachines returns the named types with any non-test method taking a
+// *simkernel.ContProc: the continuation machines whose every method is
+// implicitly hot.
+func contMachines(pass *Pass) map[*types.TypeName]bool {
+	machines := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if hasContProcParam(pass, fn) {
+				if tn := recvTypeName(pass, fn); tn != nil {
+					machines[tn] = true
+				}
+			}
+		}
+	}
+	return machines
+}
+
+// implicitlyHot reports whether fn runs inline on the kernel event loop:
+// it takes a *ContProc itself, or is a method of a continuation machine.
+func implicitlyHot(pass *Pass, fn *ast.FuncDecl, machines map[*types.TypeName]bool) bool {
+	if hasContProcParam(pass, fn) {
+		return true
+	}
+	return fn.Recv != nil && machines[recvTypeName(pass, fn)]
+}
+
+// recvTypeName resolves a method's receiver to the named type it is declared
+// on (through any pointer), or nil for non-methods.
+func recvTypeName(pass *Pass, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.Info.Types[fn.Recv.List[0].Type].Type
+	if t == nil && len(fn.Recv.List[0].Names) > 0 {
+		if obj := pass.Info.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	return namedTypeName(t)
+}
+
+// namedTypeName unwraps a (possibly pointer-to) named type to its TypeName.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// hasContProcParam reports whether fn takes a *simkernel.ContProc — the
+// signature of continuation Step bodies and their helpers, which the kernel
+// resumes inline and which are therefore implicitly hot.
+func hasContProcParam(pass *Pass, fn *ast.FuncDecl) bool {
+	return hasSimkernelPtrParam(pass, fn.Type, "ContProc")
+}
+
+// hasSimkernelPtrParam reports whether the function type has a parameter of
+// type *simkernel.<name>.
+func hasSimkernelPtrParam(pass *Pass, ftype *ast.FuncType, name string) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == contProcPkg {
+			return true
+		}
+	}
+	return false
+}

@@ -39,7 +39,11 @@ type directive struct {
 	reason     string
 	targetFile string
 	targetLine int
-	used       bool
+
+	// used means the directive earned its keep this run: an allow that
+	// suppressed a diagnostic, or a reset-skip that excused a field its Reset
+	// method really does not handle.
+	used bool
 
 	// attachment classification (for hotpath / reset-skip placement checks)
 	inFuncDoc bool
@@ -193,7 +197,7 @@ func (s *directiveSet) problems(fset *token.FileSet, ran map[string]bool) []Diag
 			case d.analyzer == "":
 				report(d, "//repro:allow needs an analyzer name and a reason")
 			case !known[d.analyzer]:
-				report(d, "//repro:allow names unknown analyzer %q (have nodeterm, rngxonly, hotpath, resetcomplete)", d.analyzer)
+				report(d, "//repro:allow names unknown analyzer %q (have %s)", d.analyzer, suiteNameList())
 			case d.reason == "":
 				report(d, "//repro:allow %s needs a reason", d.analyzer)
 			case ran[d.analyzer] && !d.used:
@@ -212,6 +216,8 @@ func (s *directiveSet) problems(fset *token.FileSet, ran map[string]bool) []Diag
 				report(d, "//repro:reset-skip needs a reason")
 			case !d.onField:
 				report(d, "misplaced //repro:reset-skip: it must be attached to a struct field")
+			case ran["resetcomplete"] && !d.used:
+				report(d, "unused //repro:reset-skip: the field is reset anyway or its type has no Reset method (stale waiver — delete it)")
 			}
 		default:
 			report(d, "unknown //repro: directive %q (have allow, hotpath, reset-skip)", d.kind)
@@ -235,17 +241,18 @@ func hasHotpathDirective(fn *ast.FuncDecl) bool {
 }
 
 // resetSkipReason returns the //repro:reset-skip reason attached to a struct
-// field, if any.
-func resetSkipReason(field *ast.Field) (string, bool) {
+// field, if any, along with the directive comment's position (the key the
+// staleness check matches on via Pass.MarkDirectiveUsed).
+func resetSkipReason(field *ast.Field) (string, token.Pos, bool) {
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {
 			continue
 		}
 		for _, c := range cg.List {
 			if d := parseDirective(c); d != nil && d.kind == kindResetSkip && d.args != "" {
-				return d.args, true
+				return d.args, d.pos, true
 			}
 		}
 	}
-	return "", false
+	return "", token.NoPos, false
 }

@@ -37,6 +37,14 @@ func runFixture(t *testing.T, dir, path string, analyzers []*Analyzer) {
 
 func loadFixture(t *testing.T, dir, path string) *Package {
 	t.Helper()
+	return loadFixtureEdited(t, dir, path, nil)
+}
+
+// loadFixtureEdited loads a fixture with an optional source rewrite applied
+// to each file before parsing — the hook the mutation tests use to delete a
+// line and prove the analyzers notice.
+func loadFixtureEdited(t *testing.T, dir, path string, edit func(name string, src []byte) []byte) *Package {
+	t.Helper()
 	fixdir := filepath.Join("testdata", "src", dir)
 	entries, err := os.ReadDir(fixdir)
 	if err != nil {
@@ -47,7 +55,15 @@ func loadFixture(t *testing.T, dir, path string) *Package {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(pkg.Fset, filepath.Join(fixdir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		name := filepath.Join(fixdir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		if edit != nil {
+			src = edit(e.Name(), src)
+		}
+		f, err := parser.ParseFile(pkg.Fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			t.Fatalf("parsing fixture: %v", err)
 		}
@@ -157,6 +173,18 @@ func TestHotPath(t *testing.T) {
 
 func TestResetComplete(t *testing.T) {
 	runFixture(t, "resetcomplete", "repro/internal/pfs", []*Analyzer{ResetComplete})
+}
+
+func TestPoolOwn(t *testing.T) {
+	runFixture(t, "poolown", "repro/internal/core", []*Analyzer{PoolOwn})
+}
+
+func TestContBlock(t *testing.T) {
+	runFixture(t, "contblock", "repro/internal/simkernel", []*Analyzer{ContBlock})
+}
+
+func TestRingDiscipline(t *testing.T) {
+	runFixture(t, "ringdiscipline", "repro/internal/simkernel", []*Analyzer{RingDiscipline})
 }
 
 // TestAllowMachinery exercises the shared directive machinery itself: unknown

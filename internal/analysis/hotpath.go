@@ -44,10 +44,6 @@ var HotPath = &Analyzer{
 	Run:  runHotPath,
 }
 
-// contProcPkg is the package whose ContProc parameter type marks a function
-// as an implicitly hot continuation body.
-const contProcPkg = "repro/internal/simkernel"
-
 // fmtAllocFuncs are the fmt functions that build a string (or write one)
 // through reflection-driven formatting.
 var fmtAllocFuncs = map[string]bool{
@@ -56,35 +52,15 @@ var fmtAllocFuncs = map[string]bool{
 }
 
 func runHotPath(pass *Pass) error {
-	// First pass: a named type with any *ContProc-param method (outside
-	// tests) is a continuation machine; every method of such a type is
-	// implicitly hot.
-	hotRecv := map[*types.TypeName]bool{}
+	hotRecv := contMachines(pass)
 	for _, f := range pass.Files {
-		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
-			continue
-		}
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || fn.Recv == nil {
-				continue
-			}
-			if hasContProcParam(pass, fn) {
-				if tn := recvTypeName(pass, fn); tn != nil {
-					hotRecv[tn] = true
-				}
-			}
-		}
-	}
-	for _, f := range pass.Files {
-		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		isTest := isTestFile(pass, f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			implicit := !isTest &&
-				(hasContProcParam(pass, fn) || (fn.Recv != nil && hotRecv[recvTypeName(pass, fn)]))
+			implicit := !isTest && implicitlyHot(pass, fn, hotRecv)
 			if !hasHotpathDirective(fn) && !implicit {
 				continue
 			}
@@ -92,58 +68,6 @@ func runHotPath(pass *Pass) error {
 		}
 	}
 	return nil
-}
-
-// recvTypeName resolves a method's receiver to the named type it is declared
-// on (through any pointer), or nil for non-methods.
-func recvTypeName(pass *Pass, fn *ast.FuncDecl) *types.TypeName {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return nil
-	}
-	t := pass.Info.Types[fn.Recv.List[0].Type].Type
-	if t == nil && len(fn.Recv.List[0].Names) > 0 {
-		if obj := pass.Info.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
-			t = obj.Type()
-		}
-	}
-	if t == nil {
-		return nil
-	}
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj()
-	}
-	return nil
-}
-
-// hasContProcParam reports whether fn takes a *simkernel.ContProc — the
-// signature of continuation Step bodies and their helpers, which the kernel
-// resumes inline and which are therefore implicitly hot.
-func hasContProcParam(pass *Pass, fn *ast.FuncDecl) bool {
-	if fn.Type.Params == nil {
-		return false
-	}
-	for _, field := range fn.Type.Params.List {
-		tv, ok := pass.Info.Types[field.Type]
-		if !ok || tv.Type == nil {
-			continue
-		}
-		ptr, ok := tv.Type.(*types.Pointer)
-		if !ok {
-			continue
-		}
-		named, ok := ptr.Elem().(*types.Named)
-		if !ok {
-			continue
-		}
-		obj := named.Obj()
-		if obj.Name() == "ContProc" && obj.Pkg() != nil && obj.Pkg().Path() == contProcPkg {
-			return true
-		}
-	}
-	return false
 }
 
 func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {

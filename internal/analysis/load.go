@@ -88,7 +88,8 @@ func goList(dir string, patterns []string) ([]*listEntry, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, fmt.Errorf("`go list -test -deps -export %s` failed (run reprolint from inside the module, and fix compile errors before linting): %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
 	}
 	var entries []*listEntry
 	dec := json.NewDecoder(&stdout)
@@ -134,7 +135,7 @@ func typecheckUnit(fset *token.FileSet, e *listEntry, overlay map[string][]byte,
 		}
 		exp, ok := exportOf[path]
 		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+			return nil, fmt.Errorf("no export data for %q: `go list -export` left it unbuilt — the build cache entry is missing or stale; run `go build ./...` and retry", path)
 		}
 		return os.Open(exp)
 	}

@@ -1,0 +1,697 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolOwn tracks pooled values through each function with the forward
+// dataflow engine (cfg.go, dataflow.go) and enforces the ownership protocol
+// the zero-alloc hot path depends on:
+//
+//   - a value rented from a pool (a get/Get/Rent method on a *Pool-suffixed
+//     type returning a pointer) or claimed from the wire (a type assertion
+//     to a pooled type defined in this package) is OWNED;
+//   - ownership ends at a release (put/Put/Return/Recycle/Release and
+//     casing variants) or a handoff (Send/SendFrom/SendAfter): touching the
+//     value afterwards is a use-after-release, releasing it again is a
+//     double release;
+//   - every path to the function exit must have released the value,
+//     deferred its release, or passed ownership on (stored it, returned it,
+//     sent it, or handed it to a callee) — anything else leaks the rental
+//     and re-allocates on the next cycle.
+//
+// The analysis is intraprocedural and may-style for misuse (a release on
+// ANY path makes later uses suspect) but must-style for leaks (a leak is
+// reported only when NO exiting path released the value). An early return
+// that mentions the error variable bound alongside a rental kills the
+// rental on that path: `c, err := pool.Rent(...); if err != nil { return
+// err }` does not count the error path as a leak. Paths that panic never
+// reach the exit, so invariant-violation bail-outs don't count either.
+// Test files are exempt; intentional violations carry //repro:allow
+// poolown <reason>.
+var PoolOwn = &Analyzer{
+	Name: "poolown",
+	Doc:  "pooled values must not be used after release/handoff and must be released on every path",
+	Run:  runPoolOwn,
+}
+
+// Ownership bits. owned/released/escaped/deferred are may-bits (set when
+// any path did it); mustRel is the must-bit (set only when every path to
+// this point released), which is what the leak check keys on.
+const (
+	ownOwned = 1 << iota
+	ownReleased
+	ownMustRel
+	ownEscaped
+	ownDeferred
+)
+
+var (
+	poolSourceNames  = map[string]bool{"get": true, "Get": true, "Rent": true}
+	poolReleaseNames = map[string]bool{
+		"put": true, "Put": true, "Return": true,
+		"Recycle": true, "recycle": true, "Release": true, "release": true,
+	}
+	poolHandoffNames = map[string]bool{"Send": true, "SendFrom": true, "SendAfter": true}
+)
+
+// poCell is one rental site. Cells are stable across fixpoint iterations;
+// per-path ownership lives in poState.cells.
+type poCell struct {
+	site   ast.Node
+	what   string       // rendering of the site, for messages
+	errVar types.Object // error bound alongside a (value, error) rental
+}
+
+type cellSet map[*poCell]bool
+
+// poState is the dataflow state: which cells each local may hold, and each
+// cell's ownership mask. A cell absent from cells is dead on this path
+// (e.g. killed by an error-path return).
+type poState struct {
+	vars  map[types.Object]cellSet
+	cells map[*poCell]int
+}
+
+// poFunc analyzes one function body. reports dedups across fixpoint
+// iterations (monotone states re-trigger the same findings).
+type poFunc struct {
+	pass    *Pass
+	pooled  map[*types.TypeName]bool
+	cells   map[ast.Node]*poCell
+	reports map[string]Diagnostic
+}
+
+func runPoolOwn(pass *Pass) error {
+	pooled := pooledTypes(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, fb := range packageFuncBodies([]*ast.File{f}) {
+			pf := &poFunc{
+				pass:    pass,
+				pooled:  pooled,
+				cells:   map[ast.Node]*poCell{},
+				reports: map[string]Diagnostic{},
+			}
+			pf.analyze(fb.body)
+		}
+	}
+	return nil
+}
+
+// pooledTypes collects the in-package pointer targets returned by pool
+// sources: a type assertion to one of these claims ownership of a pooled
+// value off the wire.
+func pooledTypes(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !poolSourceNames[fn.Name.Name] {
+				continue
+			}
+			tn := recvTypeName(pass, fn)
+			if tn == nil || !poolTypeName(tn.Name()) {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Results().Len() == 0 {
+				continue
+			}
+			if ptr, ok := sig.Results().At(0).Type().(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+					out[named.Obj()] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func poolTypeName(name string) bool {
+	return strings.HasSuffix(name, "Pool") || strings.HasSuffix(name, "pool")
+}
+
+func (pf *poFunc) analyze(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	lat := flowLattice[poState]{
+		transfer: pf.transfer,
+		join:     joinPoState,
+		clone:    clonePoState,
+	}
+	res := solveForward(g, poState{vars: map[types.Object]cellSet{}, cells: map[*poCell]int{}}, lat)
+
+	if res.exitOK {
+		for cell, mask := range res.exit.cells {
+			if mask&ownOwned != 0 && mask&(ownMustRel|ownEscaped|ownDeferred) == 0 {
+				pf.reportf(cell.site.Pos(), "pooled value from %s is not released on every path to return; recycle it, hand it off, or defer the release (or waive with //repro:allow poolown <reason>)", cell.what)
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(pf.reports))
+	for k := range pf.reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := pf.reports[k]
+		pf.pass.Reportf(d.Pos, "%s", d.Message)
+	}
+}
+
+func (pf *poFunc) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	pf.reports[fmt.Sprintf("%d\x00%s", pos, msg)] = Diagnostic{Pos: pos, Message: msg}
+}
+
+func clonePoState(s poState) poState {
+	c := poState{
+		vars:  make(map[types.Object]cellSet, len(s.vars)),
+		cells: make(map[*poCell]int, len(s.cells)),
+	}
+	for obj, cs := range s.vars {
+		ncs := make(cellSet, len(cs))
+		for cell := range cs {
+			ncs[cell] = true
+		}
+		c.vars[obj] = ncs
+	}
+	for cell, mask := range s.cells {
+		c.cells[cell] = mask
+	}
+	return c
+}
+
+func joinPoState(dst, src poState) (poState, bool) {
+	changed := false
+	for obj, scs := range src.vars {
+		dcs, ok := dst.vars[obj]
+		if !ok {
+			dcs = make(cellSet, len(scs))
+			dst.vars[obj] = dcs
+		}
+		for cell := range scs {
+			if !dcs[cell] {
+				dcs[cell] = true
+				changed = true
+			}
+		}
+	}
+	for cell, smask := range src.cells {
+		dmask, ok := dst.cells[cell]
+		if !ok {
+			dst.cells[cell] = smask
+			changed = true
+			continue
+		}
+		// Or-join the may-bits; and-join the must-release bit.
+		merged := (dmask | smask) &^ ownMustRel
+		merged |= dmask & smask & ownMustRel
+		if merged != dmask {
+			dst.cells[cell] = merged
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// transfer folds one atomic CFG node into the state.
+func (pf *poFunc) transfer(s poState, n ast.Node) poState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		pf.assign(s, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					pf.valueSpec(s, vs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		pf.expr(s, n.X)
+	case *ast.ReturnStmt:
+		pf.returnStmt(s, n)
+	case *ast.DeferStmt:
+		pf.deferStmt(s, n)
+	case *ast.GoStmt:
+		// The spawned goroutine owns whatever it was handed.
+		pf.escapeCall(s, n.Call)
+	case *ast.SendStmt:
+		pf.expr(s, n.Chan)
+		pf.escape(s, pf.expr(s, n.Value))
+	case *ast.IncDecStmt:
+		pf.expr(s, n.X)
+	case *ast.Ident:
+		// Range Key/Value bindings reach the CFG as bare idents: the loop
+		// writes them, so any tracked binding dies.
+		if obj := pf.identObj(n); obj != nil {
+			delete(s.vars, obj)
+		}
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			pf.expr(s, e)
+		}
+	}
+	return s
+}
+
+func (pf *poFunc) identObj(id *ast.Ident) types.Object {
+	if obj := pf.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pf.pass.Info.Defs[id]
+}
+
+// liveCells filters a var's cell set down to cells alive on this path.
+func liveCells(s poState, cs cellSet) []*poCell {
+	var out []*poCell
+	for cell := range cs {
+		if _, ok := s.cells[cell]; ok {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// expr evaluates one expression: performs use-after-release checks on ident
+// reads, recognizes rental sources and release/handoff sinks, and returns
+// the set of cells the expression's value may be.
+func (pf *poFunc) expr(s poState, e ast.Expr) cellSet {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		obj := pf.pass.Info.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		cs := s.vars[obj]
+		for _, cell := range liveCells(s, cs) {
+			if s.cells[cell]&ownReleased != 0 {
+				pf.reportf(e.Pos(), "%s holds a pooled value from %s that was already released or handed off; it may be recycled under another owner (waive with //repro:allow poolown <reason>)", e.Name, cell.what)
+			}
+		}
+		return cs
+	case *ast.ParenExpr:
+		return pf.expr(s, e.X)
+	case *ast.SelectorExpr:
+		pf.expr(s, e.X)
+		return nil
+	case *ast.StarExpr:
+		pf.expr(s, e.X)
+		return nil
+	case *ast.UnaryExpr:
+		cs := pf.expr(s, e.X)
+		if e.Op == token.AND {
+			pf.escape(s, cs) // the address outlives our view of the value
+		}
+		return nil
+	case *ast.BinaryExpr:
+		// Comparing a pointer (typically against nil) reads no pooled state;
+		// skip the use-after-release check so `if env != nil` stays legal.
+		if e.Op == token.EQL || e.Op == token.NEQ {
+			pf.compareOperand(s, e.X)
+			pf.compareOperand(s, e.Y)
+			return nil
+		}
+		pf.expr(s, e.X)
+		pf.expr(s, e.Y)
+		return nil
+	case *ast.IndexExpr:
+		if tv, ok := pf.pass.Info.Types[e]; ok && tv.IsType() {
+			return nil // generic instantiation, not an index
+		}
+		pf.expr(s, e.X)
+		pf.expr(s, e.Index)
+		return nil
+	case *ast.SliceExpr:
+		pf.expr(s, e.X)
+		pf.expr(s, e.Low)
+		pf.expr(s, e.High)
+		pf.expr(s, e.Max)
+		return nil
+	case *ast.TypeAssertExpr:
+		if pf.assertSource(e) {
+			return cellSet{pf.sourceCell(s, e): true}
+		}
+		pf.expr(s, e.X)
+		return nil
+	case *ast.CallExpr:
+		return pf.call(s, e)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			pf.escape(s, pf.expr(s, el))
+		}
+		return nil
+	case *ast.FuncLit:
+		pf.escapeCaptured(s, e)
+		return nil
+	case *ast.KeyValueExpr:
+		pf.expr(s, e.Key)
+		return pf.expr(s, e.Value)
+	case *ast.BasicLit:
+		return nil
+	default:
+		// Type expressions and anything exotic: check ident reads only.
+		walkShallow(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				pf.expr(s, id)
+			}
+			return true
+		})
+		return nil
+	}
+}
+
+// compareOperand evaluates an ==/!= operand without the use-after-release
+// check on a bare tracked ident (identity tests don't touch pooled state).
+func (pf *poFunc) compareOperand(s poState, e ast.Expr) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pf.pass.Info.Uses[id]; obj != nil && len(s.vars[obj]) > 0 {
+			return
+		}
+	}
+	pf.expr(s, e)
+}
+
+// call handles sources, releases, handoffs and unknown calls.
+func (pf *poFunc) call(s poState, call *ast.CallExpr) cellSet {
+	if pf.sourceCallExpr(call) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		pf.expr(s, sel.X)
+		for _, arg := range call.Args {
+			pf.escape(s, pf.expr(s, arg))
+		}
+		return cellSet{pf.sourceCell(s, call): true}
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if poolReleaseNames[name] || poolHandoffNames[name] {
+			// A release method on a tracked receiver (env.Recycle()) ends the
+			// receiver's ownership; otherwise the receiver is just read.
+			handled := false
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && poolReleaseNames[name] {
+				if obj := pf.pass.Info.Uses[id]; obj != nil && len(liveCells(s, s.vars[obj])) > 0 {
+					pf.release(s, s.vars[obj], call, name)
+					handled = true
+				}
+			}
+			if !handled {
+				pf.expr(s, sel.X)
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := pf.pass.Info.Uses[id]; obj != nil && len(liveCells(s, s.vars[obj])) > 0 {
+						pf.release(s, s.vars[obj], call, name)
+						continue
+					}
+				}
+				pf.escape(s, pf.expr(s, arg))
+			}
+			return nil
+		}
+	}
+
+	// Unknown call: arguments escape to the callee.
+	pf.expr(s, call.Fun)
+	for _, arg := range call.Args {
+		pf.escape(s, pf.expr(s, arg))
+	}
+	return nil
+}
+
+// release marks every live cell a var holds as released, reporting a
+// double release when one already was.
+func (pf *poFunc) release(s poState, cs cellSet, at *ast.CallExpr, name string) {
+	for _, cell := range liveCells(s, cs) {
+		if s.cells[cell]&ownReleased != 0 {
+			pf.reportf(at.Pos(), "pooled value from %s is released twice: %s after an earlier release or handoff already gave up ownership", cell.what, name)
+		}
+		s.cells[cell] |= ownReleased | ownMustRel
+	}
+}
+
+func (pf *poFunc) escape(s poState, cs cellSet) {
+	for _, cell := range liveCells(s, cs) {
+		s.cells[cell] |= ownEscaped
+	}
+}
+
+// escapeCall escapes every tracked value reachable from a call's operands.
+func (pf *poFunc) escapeCall(s poState, call *ast.CallExpr) {
+	pf.expr(s, call.Fun)
+	for _, arg := range call.Args {
+		pf.escape(s, pf.expr(s, arg))
+	}
+}
+
+// escapeCaptured escapes every tracked var a function literal closes over:
+// the closure may use or release it at any later time.
+func (pf *poFunc) escapeCaptured(s poState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pf.pass.Info.Uses[id]; obj != nil {
+				pf.escape(s, s.vars[obj])
+			}
+		}
+		return true
+	})
+}
+
+// sourceCell returns the stable cell for a rental site and strong-updates
+// the path state: re-executing the source (a new loop iteration) yields a
+// fresh rental, clearing any released state from the previous cycle.
+func (pf *poFunc) sourceCell(s poState, site ast.Node) *poCell {
+	cell, ok := pf.cells[site]
+	if !ok {
+		cell = &poCell{site: site, what: renderSite(site)}
+		pf.cells[site] = cell
+	}
+	s.cells[cell] = ownOwned
+	return cell
+}
+
+// sourceCallExpr reports whether call is pool-source shaped: a get/Get/Rent
+// method on a receiver whose named type ends in Pool/pool, returning a
+// pointer first result.
+func (pf *poFunc) sourceCallExpr(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !poolSourceNames[sel.Sel.Name] {
+		return false
+	}
+	tn := namedTypeName(pf.pass.Info.Types[sel.X].Type)
+	if tn == nil || !poolTypeName(tn.Name()) {
+		return false
+	}
+	tv, ok := pf.pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	rt := tv.Type
+	if tup, ok := rt.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		rt = tup.At(0).Type()
+	}
+	_, isPtr := rt.(*types.Pointer)
+	return isPtr
+}
+
+// assertSource reports whether the type assertion claims a pooled value:
+// its target is a pointer to an in-package pooled type.
+func (pf *poFunc) assertSource(ta *ast.TypeAssertExpr) bool {
+	if ta.Type == nil {
+		return false // x.(type) switch guard
+	}
+	t := pf.pass.Info.Types[ta.Type].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return pf.pooled[named.Obj()]
+}
+
+func (pf *poFunc) assign(s poState, n *ast.AssignStmt) {
+	// Tuple form: x, y := f() — the cell set belongs to the first variable;
+	// an error bound in the second slot becomes the cell's kill variable.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		cs := pf.expr(s, n.Rhs[0])
+		pf.bind(s, n.Lhs[0], cs)
+		for _, lhs := range n.Lhs[1:] {
+			pf.bind(s, lhs, nil)
+		}
+		if len(cs) == 1 && len(n.Lhs) == 2 {
+			if id, ok := n.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pf.identObj(id); obj != nil && isErrorType(obj.Type()) {
+					for cell := range cs {
+						cell.errVar = obj
+					}
+				}
+			}
+		}
+		return
+	}
+	sets := make([]cellSet, len(n.Rhs))
+	for i, rhs := range n.Rhs {
+		sets[i] = pf.expr(s, rhs)
+	}
+	for i, lhs := range n.Lhs {
+		var cs cellSet
+		if i < len(sets) {
+			cs = sets[i]
+		}
+		pf.bind(s, lhs, cs)
+	}
+}
+
+// bind assigns a cell set to an lvalue: a local ident takes (or clears) the
+// binding; anything else — a field, an index, a global — is a store the
+// analysis can't see past, so the cells escape. Writing through a released
+// value is caught by the read of its base identifier.
+func (pf *poFunc) bind(s poState, lhs ast.Expr, cs cellSet) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			pf.escape(s, cs)
+			return
+		}
+		obj := pf.identObj(id)
+		if obj != nil && localVar(pf.pass.Pkg, obj) {
+			if len(cs) > 0 {
+				pf.setVar(s, obj, cs)
+			} else {
+				delete(s.vars, obj)
+			}
+			return
+		}
+		pf.escape(s, cs)
+		return
+	}
+	pf.expr(s, lhs)
+	pf.escape(s, cs)
+}
+
+func (pf *poFunc) setVar(s poState, obj types.Object, cs cellSet) {
+	ncs := make(cellSet, len(cs))
+	for cell := range cs {
+		ncs[cell] = true
+	}
+	s.vars[obj] = ncs
+}
+
+func (pf *poFunc) valueSpec(s poState, vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		cs := pf.expr(s, vs.Values[0])
+		for i, name := range vs.Names {
+			var set cellSet
+			if i == 0 {
+				set = cs
+			}
+			pf.bind(s, name, set)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		var cs cellSet
+		if i < len(vs.Values) {
+			cs = pf.expr(s, vs.Values[i])
+		}
+		pf.bind(s, name, cs)
+	}
+}
+
+func (pf *poFunc) returnStmt(s poState, n *ast.ReturnStmt) {
+	// Returning a tracked value passes ownership to the caller.
+	for _, res := range n.Results {
+		pf.escape(s, pf.expr(s, res))
+	}
+	// A return mentioning a rental's error variable is the rental's failure
+	// path: the value was never rented there, so it cannot leak.
+	for _, res := range n.Results {
+		walkShallow(res, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pf.pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for cell := range s.cells {
+				if cell.errVar == obj {
+					delete(s.cells, cell)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (pf *poFunc) deferStmt(s poState, n *ast.DeferStmt) {
+	call := n.Call
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && poolReleaseNames[sel.Sel.Name] {
+		pf.expr(s, sel.X)
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pf.pass.Info.Uses[id]; obj != nil {
+					if cells := liveCells(s, s.vars[obj]); len(cells) > 0 {
+						for _, cell := range cells {
+							s.cells[cell] |= ownDeferred
+						}
+						continue
+					}
+				}
+			}
+			pf.escape(s, pf.expr(s, arg))
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		pf.escapeCaptured(s, lit)
+		for _, arg := range call.Args {
+			pf.escape(s, pf.expr(s, arg))
+		}
+		return
+	}
+	pf.escapeCall(s, call)
+}
+
+// renderSite renders a rental site for diagnostics.
+func renderSite(site ast.Node) string {
+	switch site := site.(type) {
+	case *ast.CallExpr:
+		return exprString(ast.Unparen(site.Fun)) + "(...)"
+	case *ast.TypeAssertExpr:
+		return exprString(site.X) + ".(" + exprString(site.Type) + ")"
+	}
+	return "pool source"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

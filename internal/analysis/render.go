@@ -1,0 +1,51 @@
+package analysis
+
+// Machine-readable findings output for cmd/reprolint's -json mode. The
+// rendering lives here (not in the command) so tests can pin the schema
+// without shelling out to the built binary.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is one diagnostic with its position resolved, the unit of
+// cmd/reprolint's -json output. The schema is part of the tool's interface:
+// scripts diff these fields across runs, so they only grow, never change.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Package  string `json:"package,omitempty"`
+}
+
+// FindingsFrom resolves a package's diagnostics into Findings, preserving
+// RunSuite's position-sorted order.
+func FindingsFrom(pkg *Package, diags []Diagnostic) []Finding {
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		findings = append(findings, Finding{
+			File:     posn.Filename,
+			Line:     posn.Line,
+			Column:   posn.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Package:  pkg.Path,
+		})
+	}
+	return findings
+}
+
+// WriteFindingsJSON writes the findings as one indented JSON array. An empty
+// or nil slice still renders as [], so consumers can parse unconditionally.
+func WriteFindingsJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(findings)
+}

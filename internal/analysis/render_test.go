@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFindingsJSON pins the -json schema: position-resolved fields, suite
+// order preserved, and an empty run rendering as [] rather than null.
+func TestFindingsJSON(t *testing.T) {
+	pkg := loadFixture(t, "nodeterm_sim", "repro/internal/simkernel")
+	diags, err := RunSuite(pkg, Suite())
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics to render")
+	}
+
+	findings := FindingsFrom(pkg, diags)
+	var buf bytes.Buffer
+	if err := WriteFindingsJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteFindingsJSON: %v", err)
+	}
+
+	var parsed []Finding
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed) != len(diags) {
+		t.Fatalf("got %d findings, want %d", len(parsed), len(diags))
+	}
+	for i, f := range parsed {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding %d has unresolved fields: %+v", i, f)
+		}
+		if f.Package != "repro/internal/simkernel" {
+			t.Errorf("finding %d: package = %q, want repro/internal/simkernel", i, f.Package)
+		}
+		posn := pkg.Fset.Position(diags[i].Pos)
+		if f.Line != posn.Line || f.Message != diags[i].Message {
+			t.Errorf("finding %d does not preserve diagnostic order", i)
+		}
+	}
+}
+
+func TestFindingsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFindingsJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteFindingsJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings render as %q, want []", got)
+	}
+}

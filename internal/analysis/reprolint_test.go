@@ -50,6 +50,124 @@ func TestRepoIsClean(t *testing.T) {
 // pfs.FileSystem.Reset and demands that resetcomplete catches it — the
 // acceptance check that the analyzer guards real reset methods, not just
 // fixtures.
+// TestPoolOwnFixtureMutation deletes the designated Recycle call from the
+// poolown fixture's clean case and demands a leak finding: the proof that the
+// fixture's silence is earned by the put, not by the analyzer ignoring it.
+func TestPoolOwnFixtureMutation(t *testing.T) {
+	const dropped = "p.put(env) // mutation target: deleting this line must trip poolown"
+	sawAnchor := false
+	pkg := loadFixtureEdited(t, "poolown", "repro/internal/core", func(name string, src []byte) []byte {
+		if !strings.Contains(string(src), dropped) {
+			return src
+		}
+		sawAnchor = true
+		return []byte(strings.Replace(string(src), dropped, "", 1))
+	})
+	if !sawAnchor {
+		t.Fatalf("mutation anchor %q not found in poolown fixture", dropped)
+	}
+	diags, err := RunSuite(pkg, []*Analyzer{PoolOwn})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not released on every path") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("poolown missed the leak created by deleting %q", dropped)
+	}
+}
+
+// TestPoolOwnMutation drops the real envelope recycle from the coordinator's
+// local-index gather (pump.go, C case 5) and demands poolown reports the
+// leak — the whole-module analogue of the fixture mutation above.
+func TestPoolOwnMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data for the core subtree")
+	}
+	root := repoRoot(t)
+	target := filepath.Join(root, "internal", "core", "pump.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the gather site first: pump.go recycles envelopes in several
+	// places, and only this one keeps the envelope local until the put.
+	const anchor = "s.global.Locals = append(s.global.Locals, env.index)"
+	idx := strings.Index(string(src), anchor)
+	if idx < 0 {
+		t.Fatalf("mutation anchor %q not found in %s", anchor, target)
+	}
+	const dropped = "a.pool.put(env)"
+	tail := string(src[idx:])
+	if !strings.Contains(tail, dropped) {
+		t.Fatalf("%q not found after the anchor in %s", dropped, target)
+	}
+	mutated := string(src[:idx]) + strings.Replace(tail, dropped, "", 1)
+
+	pkgs, err := load(root, map[string][]byte{target: []byte(mutated)}, []string{"./internal/core"})
+	if err != nil {
+		t.Fatalf("load with overlay: %v", err)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := RunSuite(pkg, []*Analyzer{PoolOwn})
+		if err != nil {
+			t.Fatalf("RunSuite(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			if strings.Contains(d.Message, "not released on every path") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("poolown missed the leak created by deleting %q from the gather case", dropped)
+	}
+}
+
+// TestContBlockMutation plants a goroutine-blocking collective inside the
+// sub-coordinator's continuation body and demands contblock flags it.
+func TestContBlockMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data for the core subtree")
+	}
+	root := repoRoot(t)
+	target := filepath.Join(root, "internal", "core", "pump.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "s.li.Sort()"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("mutation anchor %q not found in %s", anchor, target)
+	}
+	mutated := strings.Replace(string(src), anchor, "s.r.Barrier()\n"+anchor, 1)
+
+	pkgs, err := load(root, map[string][]byte{target: []byte(mutated)}, []string{"./internal/core"})
+	if err != nil {
+		t.Fatalf("load with overlay: %v", err)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := RunSuite(pkg, []*Analyzer{ContBlock})
+		if err != nil {
+			t.Fatalf("RunSuite(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			if strings.Contains(d.Message, "Rank.Barrier suspends") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("contblock missed the planted Rank.Barrier in scCont.Step")
+	}
+}
+
 func TestResetCompleteMutation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds export data for the pfs subtree")

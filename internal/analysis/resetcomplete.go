@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -66,15 +67,16 @@ func (rc *resetChecker) checkReset(fn *ast.FuncDecl) {
 	handled := map[string]bool{}
 	visited := map[*ast.FuncDecl]bool{}
 	rc.markHandled(fn, recvObj, handled, visited)
-	if handled["*"] {
-		return // *recv = T{...} resets everything
-	}
 
 	skipped := rc.skippedFields(named.Obj().Name())
 
 	for i := 0; i < st.NumFields(); i++ {
 		name := st.Field(i).Name()
-		if handled[name] || skipped[name] {
+		if handled["*"] || handled[name] {
+			continue // a skip on a handled field stays unmarked: it is stale
+		}
+		if pos, ok := skipped[name]; ok {
+			rc.pass.MarkDirectiveUsed(pos)
 			continue
 		}
 		rc.pass.Reportf(fn.Name.Pos(), "%s.%s: field %s is not reset; assign it here, reset it through a callee, or waive it with //repro:reset-skip <why> on the field", named.Obj().Name(), fn.Name.Name, name)
@@ -227,9 +229,10 @@ func baseIdent(e ast.Expr) *ast.Ident {
 }
 
 // skippedFields collects //repro:reset-skip waivers from the struct's
-// declaration.
-func (rc *resetChecker) skippedFields(typeName string) map[string]bool {
-	skipped := map[string]bool{}
+// declaration, mapping each waived field name to its directive's position so
+// genuinely-load-bearing waivers can be marked used.
+func (rc *resetChecker) skippedFields(typeName string) map[string]token.Pos {
+	skipped := map[string]token.Pos{}
 	for _, f := range rc.pass.Files {
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
@@ -246,11 +249,12 @@ func (rc *resetChecker) skippedFields(typeName string) map[string]bool {
 					continue
 				}
 				for _, field := range st.Fields.List {
-					if _, ok := resetSkipReason(field); !ok {
+					_, pos, ok := resetSkipReason(field)
+					if !ok {
 						continue
 					}
 					for _, name := range field.Names {
-						skipped[name.Name] = true
+						skipped[name.Name] = pos
 					}
 				}
 			}

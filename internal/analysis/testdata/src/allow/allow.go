@@ -21,7 +21,7 @@ func bareAllow() {
 }
 
 func unknownAnalyzer() {
-	//repro:allow gofmt because reasons // want `//repro:allow names unknown analyzer "gofmt" \(have nodeterm, rngxonly, hotpath, resetcomplete\)`
+	//repro:allow gofmt because reasons // want `//repro:allow names unknown analyzer "gofmt" \(have nodeterm, rngxonly, hotpath, resetcomplete, poolown, contblock, ringdiscipline\)`
 }
 
 func missingReason() time.Time {
@@ -53,6 +53,22 @@ type waivers struct {
 
 func (w *waivers) Reset() { // want `waivers.Reset: field b is not reset`
 	_ = w
+}
+
+// staleSkips: a waiver on a field Reset handles anyway, and a waiver on a
+// type with no Reset method at all, are both dead weight.
+type staleSkips struct {
+	c int //repro:reset-skip held open intentionally // want `unused //repro:reset-skip: the field is reset anyway or its type has no Reset method \(stale waiver — delete it\)`
+	d int
+}
+
+func (s *staleSkips) Reset() {
+	s.c = 0
+	s.d = 0
+}
+
+type neverReset struct {
+	e int //repro:reset-skip retained across runs // want `unused //repro:reset-skip: the field is reset anyway or its type has no Reset method \(stale waiver — delete it\)`
 }
 
 //repro:reset-skip misplaced on a function // want `misplaced //repro:reset-skip: it must be attached to a struct field`

@@ -1,0 +1,44 @@
+// Package simkernel is the contblock fixture's mirror of the kernel
+// surface: the fixture loads under the real simkernel import path so the
+// analyzer's package-keyed blocklist and *ContProc/*Proc signature rules
+// engage exactly as they do in-tree.
+package simkernel
+
+import "time"
+
+type Time int64
+
+type Proc struct{ id int }
+
+func (p *Proc) Sleep(d time.Duration)  {}
+func (p *Proc) SleepSeconds(s float64) {}
+func (p *Proc) Suspend()               {}
+
+type ContProc Proc
+
+func (c *ContProc) Proc() *Proc             { return (*Proc)(c) }
+func (c *ContProc) Sleep(d time.Duration)   {}
+func (c *ContProc) SleepUntil(at Time) bool { return true }
+
+type RecvOp struct{ v any }
+
+func (o *RecvOp) Msg() any { return o.v }
+
+type Mailbox struct{ q []any }
+
+func (m *Mailbox) Send(v any)                           { m.q = append(m.q, v) }
+func (m *Mailbox) Recv(p *Proc) any                     { return nil }
+func (m *Mailbox) TryRecv() (any, bool)                 { return nil, false }
+func (m *Mailbox) RecvCont(o *RecvOp, c *ContProc) bool { return false }
+
+type Resource struct{ cap int }
+
+func (r *Resource) Acquire(p *Proc)              {}
+func (r *Resource) Release()                     {}
+func (r *Resource) AcquireCont(c *ContProc) bool { return true }
+
+type Kernel struct{ now Time }
+
+func (k *Kernel) Run() Time                           { return k.now }
+func (k *Kernel) RunUntil(deadline Time) Time         { return k.now }
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) {}

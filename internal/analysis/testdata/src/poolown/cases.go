@@ -1,0 +1,145 @@
+package poolown
+
+// Clean lifecycles the analyzer must stay silent on, and the violations it
+// must catch. The mutation test in reprolint_test.go rewrites cleanRecycle
+// to drop its put call and asserts poolown trips — proving ownership is
+// tracked through the dataflow, not pattern-matched.
+
+// cleanRecycle claims an envelope off the wire, reads it, and recycles it.
+func cleanRecycle(p *envPool, data any) int {
+	env := data.(*envelope)
+	kind := env.kind
+	p.put(env) // mutation target: deleting this line must trip poolown
+	return kind
+}
+
+// cleanHandoff rents and hands ownership to the mailbox.
+func cleanHandoff(p *envPool, mb *mailbox) {
+	env := p.get(3)
+	env.size = 42
+	mb.SendFrom(0, 1, env)
+}
+
+// cleanBranches releases on every path.
+func cleanBranches(p *envPool, mb *mailbox, urgent bool) {
+	env := p.get(1)
+	if urgent {
+		mb.Send(env)
+		return
+	}
+	p.put(env)
+}
+
+// cleanRent follows the rent / err-check / deferred-return protocol.
+func cleanRent(pool *worldPool) (int, error) {
+	w, err := pool.Rent("quick")
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Return(w)
+	return w.id, nil
+}
+
+// cleanEscape stores the envelope; ownership left this function's view.
+type holder struct{ pending *envelope }
+
+func cleanEscape(p *envPool, h *holder) {
+	h.pending = p.get(7)
+}
+
+// cleanPanicPath never reaches return with the envelope owned: the panic
+// path does not count as a leak.
+func cleanPanicPath(p *envPool, ok bool) {
+	env := p.get(2)
+	if !ok {
+		panic("invariant broken")
+	}
+	p.put(env)
+}
+
+// cleanLoop recycles each iteration's envelope before renting the next.
+func cleanLoop(p *envPool, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		env := p.get(i)
+		total += env.kind
+		p.put(env)
+	}
+	return total
+}
+
+// leakSimple never releases. The diagnostic lands on the rental site.
+func leakSimple(p *envPool) int {
+	env := p.get(4) // want `pooled value from p\.get\(\.\.\.\) is not released on every path`
+	return env.kind
+}
+
+// leakOneBranch releases on only one of two paths.
+func leakOneBranch(p *envPool, keep bool) {
+	env := p.get(5) // want `not released on every path`
+	if keep {
+		return
+	}
+	p.put(env)
+}
+
+// leakRentNoReturn rents a world and forgets to return it.
+func leakRentNoReturn(pool *worldPool) int {
+	w, err := pool.Rent("leaky") // want `pooled value from pool\.Rent\(\.\.\.\) is not released on every path`
+	if err != nil {
+		return 0
+	}
+	return w.id
+}
+
+// useAfterPut touches the envelope after the pool took it back.
+func useAfterPut(p *envPool, data any) int {
+	env := data.(*envelope)
+	p.put(env)
+	return env.kind // want `already released or handed off`
+}
+
+// writeAfterSend mutates an envelope whose ownership went with the send.
+func writeAfterSend(p *envPool, mb *mailbox) {
+	env := p.get(6)
+	mb.Send(env)
+	env.size = 99 // want `already released or handed off`
+}
+
+// doubleRelease recycles twice.
+func doubleRelease(p *envPool, data any) {
+	env := data.(*envelope)
+	p.put(env)
+	p.put(env) // want `released twice`
+}
+
+// useAfterConditionalSend: the send happens on SOME path, so the later read
+// may race a recycled envelope.
+func useAfterConditionalSend(p *envPool, mb *mailbox, fast bool) int {
+	env := p.get(8)
+	if fast {
+		mb.Send(env)
+	} else {
+		p.put(env)
+	}
+	return env.kind // want `already released or handed off`
+}
+
+// nilCheckAfterHandoff stays legal: comparing the pointer reads no pooled
+// state.
+func nilCheckAfterHandoff(p *envPool, mb *mailbox) bool {
+	env := p.get(9)
+	mb.Send(env)
+	return env != nil
+}
+
+// returnTransfers ownership to the caller; not a leak.
+func returnTransfers(p *envPool) *envelope {
+	return p.get(10)
+}
+
+// waivedLeak shows the escape hatch.
+func waivedLeak(p *envPool) {
+	env := p.get(11) //repro:allow poolown fixture: lifetime managed by test harness
+	_ = env.kind
+}

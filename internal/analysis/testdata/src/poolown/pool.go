@@ -1,0 +1,64 @@
+// Package poolown fixtures: a local mirror of the pooled-envelope and
+// rented-world shapes poolown tracks. The pool types end in Pool/pool and
+// expose get/Rent returning pointers, which is all the analyzer keys on.
+package poolown
+
+import "errors"
+
+type envelope struct {
+	kind int
+	size int64
+}
+
+type envPool struct {
+	free []*envelope
+}
+
+func (p *envPool) get(kind int) *envelope {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		m.kind = kind
+		return m
+	}
+	return &envelope{kind: kind}
+}
+
+func (p *envPool) put(m *envelope) {
+	*m = envelope{}
+	p.free = append(p.free, m)
+}
+
+// mailbox mirrors the kernel mailbox handoff surface.
+type mailbox struct {
+	q []any
+}
+
+func (m *mailbox) Send(v any)                   { m.q = append(m.q, v) }
+func (m *mailbox) SendFrom(from, to int, v any) { m.q = append(m.q, v) }
+
+// world / worldPool mirror cluster.Pool's Rent/Return pair.
+type world struct {
+	id int
+}
+
+type worldPool struct {
+	free []*world
+}
+
+var errExhausted = errors.New("pool exhausted")
+
+func (p *worldPool) Rent(name string) (*world, error) {
+	if len(p.free) == 0 {
+		return nil, errExhausted
+	}
+	w := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return w, nil
+}
+
+func (p *worldPool) Return(w *world) {
+	if w != nil {
+		p.free = append(p.free, w)
+	}
+}

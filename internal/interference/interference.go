@@ -109,9 +109,9 @@ type Noise struct {
 	// Continuation machines, one per process: the default engine. arm()
 	// rewinds each machine's program counter before every spawn, so the
 	// same values serve every replica.
-	globalC globalCont //repro:reset-skip re-armed (pc rewound) by arm on every Reset
-	hotC    hotCont    //repro:reset-skip re-armed (pc rewound) by arm on every Reset
-	ostC    []ostCont  //repro:reset-skip re-armed (pc rewound) by arm on every Reset
+	globalC globalCont
+	hotC    hotCont
+	ostC    []ostCont
 }
 
 type ostMood struct {
